@@ -1,0 +1,427 @@
+package swex
+
+import (
+	"fmt"
+
+	"swex/internal/apps"
+	"swex/internal/machine"
+	"swex/internal/mem"
+	"swex/internal/proc"
+	"swex/internal/proto"
+	"swex/internal/report"
+	"swex/internal/shm"
+)
+
+// AblationRow is one configuration comparison.
+type AblationRow struct {
+	Name     string
+	Baseline float64 // cycles
+	Variant  float64 // cycles
+}
+
+// Delta returns the variant's run-time change relative to the baseline
+// (positive = slower).
+func (r AblationRow) Delta() float64 { return r.Variant/r.Baseline - 1 }
+
+// AblationTable renders rows with their deltas.
+func AblationTable(title string, rows []AblationRow) *report.Table {
+	t := report.NewTable(title, "workload", "baseline", "variant", "delta")
+	for _, r := range rows {
+		t.AddRow(r.Name,
+			fmt.Sprintf("%.0f", r.Baseline),
+			fmt.Sprintf("%.0f", r.Variant),
+			fmt.Sprintf("%+.1f%%", 100*r.Delta()))
+	}
+	return t
+}
+
+// AblateLocalBit measures the effect of Alewife's one-bit local pointer
+// (paper Section 3.1 reports about a 2% improvement; its main value is
+// guaranteeing a node cannot overflow its own home directory). The variant
+// disables the bit, so home-node accesses consume — and can overflow —
+// ordinary hardware pointers. The first workload is built to show the
+// mechanism: every node repeatedly reads its own block while exactly five
+// remote nodes read it too, so the home's read is the straw that overflows
+// a five-pointer directory when the bit is absent.
+func AblateLocalBit(o Options) ([]AblationRow, error) {
+	withBit := proto.LimitLESS(5)
+	without := withBit
+	without.LocalBit = false
+	without.Name = "DirnH5SNB(no-local-bit)"
+
+	// homeShare: node i owns one block; readers are i itself plus its
+	// five ring successors; i rewrites the block each iteration.
+	homeShare := apps.Program{
+		Name: "home-share",
+		Setup: func(m *machine.Machine) apps.Instance {
+			P := m.Cfg.Nodes
+			slots := m.Mem.AllocStriped(1)
+			bar := shm.NewTreeBarrierArity(m.Mem, P, 2)
+			thread := func(env *proc.Env) {
+				id := int(env.ID())
+				for it := 0; it < 8; it++ {
+					env.Read(slots[id]) // the home's own read
+					for d := 1; d <= 5; d++ {
+						env.Read(slots[(id+d)%P])
+					}
+					bar.Wait(env)
+					env.Write(slots[id], uint64(it))
+					bar.Wait(env)
+				}
+			}
+			return apps.Instance{Thread: thread}
+		},
+	}
+
+	workloads := []struct {
+		name string
+		prog apps.Program
+	}{
+		{"home-share", homeShare},
+		{"WATER", apps.QuickRegistry()[5]},
+	}
+	nodes := 16
+	var rows []AblationRow
+	for _, w := range workloads {
+		base, err := runApp(w.prog, machine.Config{Nodes: nodes, Spec: withBit, VictimLines: 8})
+		if err != nil {
+			return nil, fmt.Errorf("local-bit baseline %s: %w", w.name, err)
+		}
+		varres, err := runApp(w.prog, machine.Config{Nodes: nodes, Spec: without, VictimLines: 8})
+		if err != nil {
+			return nil, fmt.Errorf("local-bit variant %s: %w", w.name, err)
+		}
+		rows = append(rows, AblationRow{w.name, float64(base.Time), float64(varres.Time)})
+	}
+	return rows, nil
+}
+
+// AblateSoftware compares application run time under the flexible C
+// interface against the hand-tuned assembly handlers (paper Section 4.2:
+// the tuned handlers halve handler latency; whole-application impact is
+// smaller because handlers are a fraction of run time).
+func AblateSoftware(o Options) ([]AblationRow, error) {
+	nodes := 64
+	registry := apps.Registry()
+	if o.Quick {
+		nodes = 16
+		registry = apps.QuickRegistry()
+	}
+	var rows []AblationRow
+	for _, prog := range registry {
+		c, err := runApp(prog, machine.Config{
+			Nodes: nodes, Spec: proto.LimitLESS(5),
+			Software: machine.FlexibleC, VictimLines: 8,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("software ablation %s: %w", prog.Name, err)
+		}
+		asm, err := runApp(prog, machine.Config{
+			Nodes: nodes, Spec: proto.LimitLESS(5),
+			Software: machine.TunedASM, VictimLines: 8,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("software ablation %s: %w", prog.Name, err)
+		}
+		rows = append(rows, AblationRow{prog.Name, float64(c.Time), float64(asm.Time)})
+	}
+	return rows, nil
+}
+
+// AblateBroadcast compares Dir_nH_1S_NB,LACK (software directory
+// extension) with Dir_1H_1S_B,LACK (software broadcast) on WORKER: the
+// broadcast protocol trades read-overflow traps for machine-wide
+// invalidations on every write to a shared block (paper Section 2.5).
+func AblateBroadcast(o Options) ([]AblationRow, error) {
+	sizes := []int{2, 8}
+	iters := 8
+	if o.Quick {
+		sizes = []int{4}
+		iters = 4
+	}
+	var rows []AblationRow
+	for _, k := range sizes {
+		prog := apps.Worker(apps.WorkerParams{SetSize: k, Iters: iters})
+		lack, err := runApp(prog, machine.Config{Nodes: 16, Spec: proto.OnePointer(proto.AckLACK)})
+		if err != nil {
+			return nil, fmt.Errorf("broadcast ablation k=%d: %w", k, err)
+		}
+		bcast, err := runApp(prog, machine.Config{Nodes: 16, Spec: proto.Dir1SW()})
+		if err != nil {
+			return nil, fmt.Errorf("broadcast ablation k=%d: %w", k, err)
+		}
+		rows = append(rows, AblationRow{
+			fmt.Sprintf("WORKER k=%d", k), float64(lack.Time), float64(bcast.Time),
+		})
+	}
+	return rows, nil
+}
+
+// AblateBatchReads measures the read-burst batching enhancement (a
+// Section 7 style protocol-software extension): handlers drain queued read
+// requests at incremental cost. It helps widely-read, rarely-written data
+// (WATER) and hurts frequently-written queue words (TSP) — the
+// "data specific" tradeoff the paper's enhancement section describes.
+func AblateBatchReads(o Options) ([]AblationRow, error) {
+	nodes := 64
+	water := apps.Registry()[5]
+	tsp := apps.Registry()[0]
+	if o.Quick {
+		nodes = 16
+		water = apps.QuickRegistry()[5]
+		tsp = apps.QuickRegistry()[0]
+	}
+	var rows []AblationRow
+	for _, w := range []struct {
+		name string
+		prog apps.Program
+	}{{"WATER", water}, {"TSP", tsp}} {
+		base, err := runApp(w.prog, machine.Config{
+			Nodes: nodes, Spec: proto.LimitLESS(5), VictimLines: 8,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("batch ablation %s: %w", w.name, err)
+		}
+		batched, err := runApp(w.prog, machine.Config{
+			Nodes: nodes, Spec: proto.LimitLESS(5), VictimLines: 8, BatchReads: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("batch ablation %s: %w", w.name, err)
+		}
+		rows = append(rows, AblationRow{w.name, float64(base.Time), float64(batched.Time)})
+	}
+	return rows, nil
+}
+
+// AblateParallelInv measures the parallel-invalidation enhancement: the
+// write-fault handler's per-invalidation cost drops from sequential
+// transmission to a pipelined hand-off. Large worker sets (many
+// invalidations per write) benefit; small ones barely notice — the
+// size-dependent behavior behind the paper's suggestion to select the
+// procedure dynamically (Section 7).
+func AblateParallelInv(o Options) ([]AblationRow, error) {
+	sizes := []int{2, 15}
+	iters := 8
+	if o.Quick {
+		sizes = []int{2, 8}
+		iters = 4
+	}
+	var rows []AblationRow
+	for _, k := range sizes {
+		prog := apps.Worker(apps.WorkerParams{SetSize: k, Iters: iters})
+		seq, err := runApp(prog, machine.Config{Nodes: 16, Spec: proto.LimitLESS(5)})
+		if err != nil {
+			return nil, fmt.Errorf("parallel-inv ablation k=%d: %w", k, err)
+		}
+		par, err := runApp(prog, machine.Config{Nodes: 16, Spec: proto.LimitLESS(5), ParallelInv: true})
+		if err != nil {
+			return nil, fmt.Errorf("parallel-inv ablation k=%d: %w", k, err)
+		}
+		rows = append(rows, AblationRow{
+			fmt.Sprintf("WORKER k=%d", k), float64(seq.Time), float64(par.Time),
+		})
+	}
+	return rows, nil
+}
+
+// AblateDataSpecific measures block-by-block protocol reconfiguration
+// (paper Sections 3.1 and 7): EVOLVE's widely-read fitness table is the
+// workload's dominant source of read-overflow traps under a small
+// directory; promoting exactly those blocks to the full-map protocol —
+// a "data specific" coherence type selected from a library — removes the
+// traps while the rest of memory keeps the cheap two-pointer directory.
+func AblateDataSpecific(o Options) ([]AblationRow, error) {
+	nodes := 64
+	params := apps.DefaultEvolve()
+	if o.Quick {
+		nodes = 16
+		params = apps.EvolveParams{Dimensions: 10, TotalWalks: 256, StepCycles: 30, Seed: 90125}
+	}
+	prog := apps.Evolve(params)
+
+	base, err := runApp(prog, machine.Config{Nodes: nodes, Spec: proto.LimitLESS(2), VictimLines: 8})
+	if err != nil {
+		return nil, fmt.Errorf("data-specific baseline: %w", err)
+	}
+
+	m, err := machine.New(machine.Config{Nodes: nodes, Spec: proto.LimitLESS(2), VictimLines: 8})
+	if err != nil {
+		return nil, err
+	}
+	inst := prog.Setup(m)
+	for _, a := range inst.Regions["fitness-table"] {
+		if err := m.ConfigureBlock(mem.BlockOf(a), proto.FullMap()); err != nil {
+			return nil, fmt.Errorf("data-specific reconfigure: %w", err)
+		}
+	}
+	varres, err := m.Run(inst.Thread, 0)
+	if err != nil {
+		return nil, fmt.Errorf("data-specific variant: %w", err)
+	}
+	return []AblationRow{{
+		Name: "EVOLVE fitness table -> full-map", Baseline: float64(base.Time), Variant: float64(varres.Time),
+	}}, nil
+}
+
+// AblateMigratory measures the migratory-data adaptation (paper Section 7,
+// "dynamic detection"). The workload passes a token record around the
+// machine: each node in turn reads it, computes, and writes it back — the
+// canonical migratory pattern, costing a recall plus an upgrade per hop
+// without the adaptation and a single ownership transfer with it.
+func AblateMigratory(o Options) ([]AblationRow, error) {
+	nodes := 16
+	laps := 6
+	if o.Quick {
+		laps = 3
+	}
+	tokenRing := apps.Program{
+		Name: "token-ring",
+		Setup: func(m *machine.Machine) apps.Instance {
+			P := m.Cfg.Nodes
+			token := m.Mem.AllocOn(0, mem.WordsPerBlock)
+			turn := m.Mem.AllocOn(0, mem.WordsPerBlock)
+			thread := func(env *proc.Env) {
+				id := uint64(env.ID())
+				for lap := 0; lap < laps; lap++ {
+					myTurn := uint64(lap)*uint64(P) + id
+					for {
+						cur := env.Read(turn)
+						if cur == myTurn {
+							break
+						}
+						env.WaitChange(turn, cur)
+					}
+					v := env.Read(token) // migratory read ...
+					env.Compute(200)
+					env.Write(token, v+1) // ... then write by the same node
+					env.Write(turn, myTurn+1)
+				}
+			}
+			return apps.Instance{Thread: thread, Probes: map[string]mem.Addr{"token": token}}
+		},
+	}
+	base, err := runApp(tokenRing, machine.Config{Nodes: nodes, Spec: proto.LimitLESS(5)})
+	if err != nil {
+		return nil, fmt.Errorf("migratory baseline: %w", err)
+	}
+	adapted, err := runApp(tokenRing, machine.Config{Nodes: nodes, Spec: proto.LimitLESS(5), MigratoryDetect: true})
+	if err != nil {
+		return nil, fmt.Errorf("migratory variant: %w", err)
+	}
+	return []AblationRow{{
+		Name: "token-ring", Baseline: float64(base.Time), Variant: float64(adapted.Time),
+	}}, nil
+}
+
+// AblateAssociativity compares the paper's two thrashing remedies head to
+// head on the TSP study (Section 8: "implementing victim caches or ...
+// building set-associative caches"): the baseline is the plain
+// direct-mapped cache; the variants add a victim cache or two ways.
+func AblateAssociativity(o Options) ([]AblationRow, error) {
+	nodes := 64
+	prog := apps.TSP(apps.DefaultTSP())
+	if o.Quick {
+		nodes = 16
+		prog = apps.QuickRegistry()[0]
+	}
+	base, err := runApp(prog, machine.Config{Nodes: nodes, Spec: proto.LimitLESS(5)})
+	if err != nil {
+		return nil, fmt.Errorf("associativity baseline: %w", err)
+	}
+	victim, err := runApp(prog, machine.Config{Nodes: nodes, Spec: proto.LimitLESS(5), VictimLines: 8})
+	if err != nil {
+		return nil, fmt.Errorf("associativity victim: %w", err)
+	}
+	twoWay, err := runApp(prog, machine.Config{Nodes: nodes, Spec: proto.LimitLESS(5), CacheWays: 2})
+	if err != nil {
+		return nil, fmt.Errorf("associativity 2-way: %w", err)
+	}
+	return []AblationRow{
+		{Name: "TSP H5: +victim cache", Baseline: float64(base.Time), Variant: float64(victim.Time)},
+		{Name: "TSP H5: 2-way set assoc", Baseline: float64(base.Time), Variant: float64(twoWay.Time)},
+	}, nil
+}
+
+// AblateCICO measures Check-In/Check-Out program annotations (the
+// cooperative-shared-memory directives the paper's Sections 1 and 7
+// discuss): WORKER's readers check their copies in after the read phase,
+// so every write finds an empty directory and sends no invalidations —
+// eliminating exactly the software write faults that dominate the
+// one-pointer protocols.
+func AblateCICO(o Options) ([]AblationRow, error) {
+	k := 8
+	iters := 8
+	if o.Quick {
+		iters = 4
+	}
+	specs := []proto.Spec{proto.OnePointer(proto.AckLACK), proto.Dir1SW(), proto.LimitLESS(5)}
+	var rows []AblationRow
+	for _, spec := range specs {
+		plain, err := runApp(apps.Worker(apps.WorkerParams{SetSize: k, Iters: iters}),
+			machine.Config{Nodes: 16, Spec: spec})
+		if err != nil {
+			return nil, fmt.Errorf("cico baseline %s: %w", spec.Name, err)
+		}
+		cico, err := runApp(apps.Worker(apps.WorkerParams{SetSize: k, Iters: iters, CICO: true}),
+			machine.Config{Nodes: 16, Spec: spec})
+		if err != nil {
+			return nil, fmt.Errorf("cico variant %s: %w", spec.Name, err)
+		}
+		rows = append(rows, AblationRow{
+			Name: "WORKER k=8 " + spec.Name, Baseline: float64(plain.Time), Variant: float64(cico.Time),
+		})
+	}
+	return rows, nil
+}
+
+// AblateMultithreading measures Sparcle's block multithreading (the
+// Alewife latency-tolerance mechanism the machine provides beyond this
+// paper's experiments): several hardware contexts per node overlap remote
+// misses, paying a context switch per memory operation. The workload
+// streams reads of remote blocks — pure latency-bound work. The worker-set
+// structure is unchanged; only the per-node miss overlap grows.
+func AblateMultithreading(o Options) ([]AblationRow, error) {
+	nodes := 16
+	blocksPerThread := 24
+	if o.Quick {
+		blocksPerThread = 12
+	}
+	stream := func(threads int) apps.Program {
+		return apps.Program{
+			Name: "miss-stream",
+			Setup: func(m *machine.Machine) apps.Instance {
+				P := m.Cfg.Nodes
+				total := threads * blocksPerThread
+				bases := make([]mem.Addr, P)
+				for n := 0; n < P; n++ {
+					bases[n] = m.Mem.AllocOn(mem.NodeID(n), total*mem.WordsPerBlock)
+				}
+				thread := func(env *proc.Env) {
+					// Each context streams reads of blocks homed on the
+					// next node over.
+					victim := (int(env.ID()) + 1) % P
+					for i := 0; i < blocksPerThread; i++ {
+						idx := env.Thread()*blocksPerThread + i
+						env.Read(bases[victim] + mem.Addr(idx*mem.WordsPerBlock))
+					}
+				}
+				return apps.Instance{Thread: thread}
+			},
+		}
+	}
+	// Equal per-context work: compare cycles per miss.
+	one, err := runApp(stream(1), machine.Config{Nodes: nodes, Spec: proto.LimitLESS(5)})
+	if err != nil {
+		return nil, fmt.Errorf("multithreading baseline: %w", err)
+	}
+	four, err := runApp(stream(4), machine.Config{Nodes: nodes, Spec: proto.LimitLESS(5), ThreadsPerNode: 4})
+	if err != nil {
+		return nil, fmt.Errorf("multithreading variant: %w", err)
+	}
+	// Normalize: the 4-context run performs 4x the misses.
+	return []AblationRow{{
+		Name:     "remote miss stream (cycles/miss)",
+		Baseline: float64(one.Time) / float64(blocksPerThread),
+		Variant:  float64(four.Time) / float64(4*blocksPerThread),
+	}}, nil
+}

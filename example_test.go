@@ -1,0 +1,145 @@
+package swex_test
+
+// Runnable documentation: each example builds and runs real machines, and
+// its printed output is checked by go test (deterministic simulation makes
+// that possible).
+
+import (
+	"fmt"
+	"log"
+
+	"swex"
+)
+
+// ExampleNewMachine builds the smallest interesting machine and runs one
+// WORKER iteration on it.
+func ExampleNewMachine() {
+	m, err := swex.NewMachine(swex.MachineConfig{
+		Nodes: 4,
+		Spec:  swex.LimitLESS(2), // Dir_nH_2S_NB
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	app := swex.Worker(2, 1)
+	inst := app.Setup(m)
+	res, err := m.Run(inst.Thread, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("protocol:", m.Cfg.Spec.Name)
+	fmt.Println("completed:", res.Time > 0)
+	// Output:
+	// protocol: DirnH2SNB
+	// completed: true
+}
+
+// ExampleSpectrum lists the paper's protocol spectrum in hardware-cost
+// order.
+func ExampleSpectrum() {
+	for _, p := range swex.Spectrum() {
+		fmt.Println(p.Name)
+	}
+	// Output:
+	// DirnH0SNB,ACK
+	// DirnH1SNB,ACK
+	// DirnH1SNB,LACK
+	// DirnH1SNB
+	// DirnH2SNB
+	// DirnH3SNB
+	// DirnH4SNB
+	// DirnH5SNB
+	// DirnHNBS-
+}
+
+// ExampleMachine_ConfigureBlock promotes one hot block to the full-map
+// protocol on an otherwise two-pointer machine — the paper's "data
+// specific" coherence-type selection.
+func ExampleMachine_ConfigureBlock() {
+	m, _ := swex.NewMachine(swex.MachineConfig{Nodes: 8, Spec: swex.LimitLESS(2)})
+	hot := m.Mem.AllocOn(0, 1)
+	if err := m.ConfigureBlock(swex.Block(hot/swex.WordsPerBlock), swex.FullMap()); err != nil {
+		log.Fatal(err)
+	}
+	res, _ := m.Run(func(env *swex.Env) {
+		env.Read(hot) // eight readers overflow two pointers — but not full-map
+	}, 0)
+	fmt.Println("software traps:", res.Traps)
+	// Output:
+	// software traps: 0
+}
+
+// Example_protocolComparison runs the same widely-shared workload under a
+// limited directory and under full-map, showing where the software
+// extension spends its time.
+func Example_protocolComparison() {
+	run := func(p swex.Protocol) swex.Result {
+		m, _ := swex.NewMachine(swex.MachineConfig{Nodes: 16, Spec: p})
+		a := m.Mem.AllocOn(0, 1)
+		res, _ := m.Run(func(env *swex.Env) {
+			env.Read(a) // sixteen readers of one block
+		}, 0)
+		return res
+	}
+	limited := run(swex.LimitLESS(2))
+	full := run(swex.FullMap())
+	fmt.Println("limited directory traps:", limited.Traps > 0)
+	fmt.Println("full-map traps:", full.Traps)
+	fmt.Println("limited slower:", limited.Time > full.Time)
+	// Output:
+	// limited directory traps: true
+	// full-map traps: 0
+	// limited slower: true
+}
+
+// Example_cico shows Check-In/Check-Out annotations at work: eight nodes
+// take turns reading a block that node 0 then rewrites, on a five-pointer
+// directory. Without annotations the reader set accumulates to eight and
+// overflows into software; with each reader checking its copy back in,
+// the hardware directory never holds more than one pointer and the
+// software is never invoked for the block.
+func Example_cico() {
+	run := func(cico bool) uint64 {
+		m, _ := swex.NewMachine(swex.MachineConfig{Nodes: 8, Spec: swex.LimitLESS(5)})
+		data := m.Mem.AllocOn(0, swex.WordsPerBlock)
+		turn := m.Mem.AllocOn(1, swex.WordsPerBlock)
+		// The turn word is a synchronization object shared by every
+		// node: give it the full-map coherence type (Section 7's
+		// advice) so the measurement isolates the data block.
+		if err := m.ConfigureBlock(swex.Block(turn/swex.WordsPerBlock), swex.FullMap()); err != nil {
+			log.Fatal(err)
+		}
+		res, err := m.Run(func(env *swex.Env) {
+			id := uint64(env.ID())
+			for it := 0; it < 3; it++ {
+				round := uint64(it) * uint64(env.P)
+				for {
+					cur := env.Read(turn)
+					if cur == round+id {
+						break
+					}
+					env.WaitChange(turn, cur)
+				}
+				env.Read(data)
+				if cico {
+					env.CheckIn(data)
+				}
+				if id == uint64(env.P-1) {
+					// Last reader of the round: rewrite the block.
+					env.Write(data, round)
+				}
+				env.Write(turn, round+id+1)
+			}
+		}, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Traps
+	}
+	plain, annotated := run(false), run(true)
+	fmt.Println("software traps without annotations:", plain > 0)
+	fmt.Println("software traps with annotations:", annotated)
+	// Output:
+	// software traps without annotations: true
+	// software traps with annotations: 0
+}

@@ -1,0 +1,57 @@
+// Protospectrum: run one application (WATER by default) across the whole
+// protocol spectrum and print the cost/performance tradeoff the paper is
+// about — speedup and hardware directory cost side by side.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"swex"
+)
+
+func main() {
+	appName := flag.String("app", "WATER", "application: TSP AQ SMGRID EVOLVE MP3D WATER")
+	nodes := flag.Int("nodes", 16, "machine size")
+	flag.Parse()
+
+	app, err := swex.AppByName(*appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(nodes int, p swex.Protocol) swex.Cycle {
+		m, err := swex.NewMachine(swex.MachineConfig{
+			Nodes: nodes, Spec: p, VictimLines: 8,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst := app.Setup(m)
+		res, err := m.Run(inst.Thread, 0)
+		if err != nil {
+			log.Fatalf("%s on %s: %v", *appName, p.Name, err)
+		}
+		return res.Time
+	}
+
+	seq := run(1, swex.FullMap())
+	fmt.Printf("%s on %d nodes (sequential: %d cycles)\n\n", *appName, *nodes, seq)
+	fmt.Printf("%-16s %-12s %-10s %s\n", "protocol", "hw pointers", "speedup", "vs full-map")
+	fmt.Println("--------------------------------------------------------")
+
+	full := run(*nodes, swex.FullMap())
+	for _, p := range swex.Spectrum() {
+		t := full
+		if p.Name != swex.FullMap().Name {
+			t = run(*nodes, p)
+		}
+		ptrs := fmt.Sprintf("%d", p.HWPointers)
+		if p.FullMap {
+			ptrs = "n (full map)"
+		}
+		fmt.Printf("%-16s %-12s %-10.1f %.0f%%\n",
+			p.Name, ptrs, float64(seq)/float64(t), 100*float64(full)/float64(t))
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: build a simulated 16-node machine with a LimitLESS
+// five-pointer directory, run the WORKER stress benchmark on it, and print
+// what the memory system did.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swex"
+)
+
+func main() {
+	// A 16-node machine running Dir_nH_5S_NB: five hardware directory
+	// pointers per memory block, software extension beyond that.
+	m, err := swex.NewMachine(swex.MachineConfig{
+		Nodes: 16,
+		Spec:  swex.LimitLESS(5),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// WORKER builds memory blocks with an exact worker-set size (8 here:
+	// beyond the hardware pointers, so the software extension runs) and
+	// performs read/barrier/write/barrier iterations.
+	app := swex.Worker(8, 10)
+	inst := app.Setup(m)
+	res, err := m.Run(inst.Thread, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("protocol:            %s\n", m.Cfg.Spec.Name)
+	fmt.Printf("run time:            %d cycles (%.3f ms at 33 MHz)\n",
+		res.Time, 1000*res.Time.Seconds())
+	fmt.Printf("network messages:    %d\n", res.Messages)
+	fmt.Printf("software traps:      %d\n", res.Traps)
+	fmt.Printf("handler cycles:      %d\n", res.HandlerCycles)
+	fmt.Printf("busy retries:        %d\n", res.BusyRetries)
+
+	if res.Ledger != nil {
+		fmt.Printf("mean read handler:   %.0f cycles\n", res.Ledger.Mean(swex.ReadHandler, -1))
+	}
+
+	// The same run under the full-map directory for comparison: no traps.
+	fm, err := swex.NewMachine(swex.MachineConfig{Nodes: 16, Spec: swex.FullMap()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst = app.Setup(fm)
+	fres, err := fm.Run(inst.Thread, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfull-map run time:   %d cycles\n", fres.Time)
+	fmt.Printf("H5 / full-map ratio: %.2f\n", float64(res.Time)/float64(fres.Time))
+}

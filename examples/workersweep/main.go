@@ -1,0 +1,57 @@
+// Workersweep: regenerate the Figure 2 data series — WORKER run-time
+// ratios against the full-map directory as the worker-set size grows —
+// using only the public API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"swex"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 16, "machine size")
+	iters := flag.Int("iters", 10, "WORKER iterations")
+	flag.Parse()
+
+	protocols := []swex.Protocol{
+		swex.SoftwareOnly(),
+		swex.OnePointer(swex.AckSW),
+		swex.OnePointer(swex.AckLACK),
+		swex.OnePointer(swex.AckHW),
+		swex.LimitLESS(2),
+		swex.LimitLESS(5),
+	}
+
+	run := func(k int, p swex.Protocol) swex.Cycle {
+		m, err := swex.NewMachine(swex.MachineConfig{Nodes: *nodes, Spec: p})
+		if err != nil {
+			log.Fatal(err)
+		}
+		app := swex.Worker(k, *iters)
+		inst := app.Setup(m)
+		res, err := m.Run(inst.Thread, 0)
+		if err != nil {
+			log.Fatalf("worker k=%d on %s: %v", k, p.Name, err)
+		}
+		return res.Time
+	}
+
+	fmt.Printf("WORKER on %d nodes: run time relative to full-map\n\n", *nodes)
+	fmt.Printf("%-6s", "size")
+	for _, p := range protocols {
+		fmt.Printf("  %-14s", p.Name)
+	}
+	fmt.Println()
+
+	for _, k := range []int{1, 2, 4, 8, 12, *nodes - 1} {
+		full := run(k, swex.FullMap())
+		fmt.Printf("%-6d", k)
+		for _, p := range protocols {
+			fmt.Printf("  %-14.2f", float64(run(k, p))/float64(full))
+		}
+		fmt.Println()
+	}
+}

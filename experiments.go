@@ -1,0 +1,574 @@
+package swex
+
+import (
+	"fmt"
+
+	"swex/internal/apps"
+	"swex/internal/machine"
+	"swex/internal/proto"
+	"swex/internal/report"
+	"swex/internal/sim"
+	"swex/internal/stats"
+)
+
+// Package-level note: every experiment function is deterministic — the
+// same Options produce bit-identical results.
+
+// Options controls how an experiment runs.
+type Options struct {
+	// Quick shrinks problem sizes and machine counts so the experiment
+	// completes in a few seconds, preserving every qualitative shape.
+	// Used by tests and short benchmark runs.
+	Quick bool
+}
+
+// runApp executes one application configuration and returns the result.
+func runApp(prog apps.Program, cfg machine.Config) (machine.Result, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	res, _, err := prog.Run(m, 0)
+	return res, err
+}
+
+// runWorkerLedger runs WORKER and returns the machine (for its ledger).
+func runWorkerLedger(nodes, setSize, iters int, sw machine.SoftwareKind) (*machine.Machine, machine.Result, error) {
+	m, err := machine.New(machine.Config{
+		Nodes: nodes, Spec: proto.LimitLESS(5), Software: sw,
+	})
+	if err != nil {
+		return nil, machine.Result{}, err
+	}
+	prog := apps.Worker(apps.WorkerParams{SetSize: setSize, Iters: iters})
+	res, _, err := prog.Run(m, 0)
+	return m, res, err
+}
+
+// --------------------------------------------------------------- Table 1
+
+// Table1Data holds the average software-extension latencies of the
+// flexible (C) and hand-tuned (assembly) handlers under Dir_nH_5S_NB,
+// sliced by readers per block — the paper's Table 1.
+type Table1Data struct {
+	Readers []int
+	CRead   []float64
+	ARead   []float64
+	CWrite  []float64
+	AWrite  []float64
+}
+
+// Table1 measures software handler latencies by running the WORKER
+// benchmark on a 16-node machine, exactly as the paper does. (The largest
+// worker set on 16 nodes with a distinct writer is 15 readers; the paper's
+// 16-reader row becomes 15 here.)
+func Table1(o Options) (*Table1Data, error) {
+	readers := []int{8, 12, 15}
+	iters := 10
+	if o.Quick {
+		readers = []int{8}
+		iters = 4
+	}
+	d := &Table1Data{Readers: readers}
+	for _, k := range readers {
+		for _, sw := range []machine.SoftwareKind{machine.FlexibleC, machine.TunedASM} {
+			m, _, err := runWorkerLedger(16, k, iters, sw)
+			if err != nil {
+				return nil, fmt.Errorf("table1 k=%d %s: %w", k, sw, err)
+			}
+			ledger := &m.Soft.Ledger
+			read := ledger.Mean(stats.ReadRequest, -1)
+			write := ledger.Mean(stats.WriteRequest, -1)
+			if sw == machine.FlexibleC {
+				d.CRead = append(d.CRead, read)
+				d.CWrite = append(d.CWrite, write)
+			} else {
+				d.ARead = append(d.ARead, read)
+				d.AWrite = append(d.AWrite, write)
+			}
+		}
+	}
+	return d, nil
+}
+
+// Table renders the data in the paper's layout.
+func (d *Table1Data) Table() *report.Table {
+	t := report.NewTable(
+		"Table 1: average software-extension latencies (cycles), DirnH5SNB on 16 nodes",
+		"readers/block", "C read", "asm read", "C write", "asm write")
+	for i, k := range d.Readers {
+		t.AddRow(fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.0f", d.CRead[i]), fmt.Sprintf("%.0f", d.ARead[i]),
+			fmt.Sprintf("%.0f", d.CWrite[i]), fmt.Sprintf("%.0f", d.AWrite[i]))
+	}
+	return t
+}
+
+// --------------------------------------------------------------- Table 2
+
+// Table2Data holds the cycle breakdown of the median read and write
+// handlers for both software implementations — the paper's Table 2.
+type Table2Data struct {
+	CRead, CWrite stats.Breakdown
+	ARead, AWrite stats.Breakdown
+}
+
+// Table2 reproduces the per-activity cycle accounting by running WORKER
+// with 8 readers per block on 16 nodes and selecting the median request of
+// each type.
+func Table2(o Options) (*Table2Data, error) {
+	iters := 10
+	if o.Quick {
+		iters = 4
+	}
+	d := &Table2Data{}
+	for _, sw := range []machine.SoftwareKind{machine.FlexibleC, machine.TunedASM} {
+		m, _, err := runWorkerLedger(16, 8, iters, sw)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", sw, err)
+		}
+		ledger := &m.Soft.Ledger
+		read, okR := ledger.Median(stats.ReadRequest, -1)
+		write, okW := ledger.Median(stats.WriteRequest, -1)
+		if !okR || !okW {
+			return nil, fmt.Errorf("table2 %s: no handler records", sw)
+		}
+		if sw == machine.FlexibleC {
+			d.CRead, d.CWrite = read.Breakdown, write.Breakdown
+		} else {
+			d.ARead, d.AWrite = read.Breakdown, write.Breakdown
+		}
+	}
+	return d, nil
+}
+
+// String renders both implementations' breakdowns.
+func (d *Table2Data) String() string {
+	return "Table 2: median handler cycle breakdown, 8 readers / 1 writer\n\n" +
+		"Flexible coherence interface (C):\n" +
+		stats.FormatBreakdown(&d.CRead, &d.CWrite) +
+		"\nHand-tuned assembly:\n" +
+		stats.FormatBreakdown(&d.ARead, &d.AWrite)
+}
+
+// -------------------------------------------------------------- Figure 2
+
+// Figure2Data holds WORKER run-time ratios against the full-map protocol
+// across worker-set sizes — the paper's Figure 2.
+type Figure2Data struct {
+	Sizes     []int
+	Protocols []string
+	// Ratio[protocol][size index] = run time / full-map run time.
+	Ratio map[string][]float64
+}
+
+// figure2Specs are the protocols Figure 2 sweeps (solid curves are the
+// Alewife-implementable ones; dashed are the simulator-only one-pointer
+// variants).
+func figure2Specs() []proto.Spec {
+	return []proto.Spec{
+		proto.SoftwareOnly(),
+		proto.OnePointer(proto.AckSW),
+		proto.OnePointer(proto.AckLACK),
+		proto.OnePointer(proto.AckHW),
+		proto.LimitLESS(2),
+		proto.LimitLESS(5),
+	}
+}
+
+// Figure2 runs the WORKER worker-set-size sweep on 16 nodes.
+func Figure2(o Options) (*Figure2Data, error) {
+	sizes := []int{1, 2, 4, 8, 12, 15}
+	iters := 10
+	if o.Quick {
+		sizes = []int{2, 8}
+		iters = 4
+	}
+	specs := figure2Specs()
+	d := &Figure2Data{Sizes: sizes, Ratio: make(map[string][]float64)}
+	for _, s := range specs {
+		d.Protocols = append(d.Protocols, s.Name)
+	}
+	for _, k := range sizes {
+		prog := apps.Worker(apps.WorkerParams{SetSize: k, Iters: iters})
+		full, err := runApp(prog, machine.Config{Nodes: 16, Spec: proto.FullMap()})
+		if err != nil {
+			return nil, fmt.Errorf("figure2 full-map k=%d: %w", k, err)
+		}
+		for _, spec := range specs {
+			res, err := runApp(prog, machine.Config{Nodes: 16, Spec: spec})
+			if err != nil {
+				return nil, fmt.Errorf("figure2 %s k=%d: %w", spec.Name, k, err)
+			}
+			d.Ratio[spec.Name] = append(d.Ratio[spec.Name],
+				float64(res.Time)/float64(full.Time))
+		}
+	}
+	return d, nil
+}
+
+// Figure renders the sweep as series over worker-set size.
+func (d *Figure2Data) Figure() *report.Figure {
+	f := report.NewFigure("Figure 2: WORKER protocol performance vs worker-set size (16 nodes)",
+		"worker set size", "run time / full-map run time")
+	for _, p := range d.Protocols {
+		s := f.Line(p)
+		for i, k := range d.Sizes {
+			s.Add(float64(k), d.Ratio[p][i])
+		}
+	}
+	return f
+}
+
+// --------------------------------------------------------------- Table 3
+
+// Table3Row describes one application.
+type Table3Row struct {
+	Name       string
+	Language   string // the paper's implementation language
+	Size       string // our (scaled) problem size
+	SeqSeconds float64
+	SeqCycles  sim.Cycle
+}
+
+// Table3 measures each application's sequential time on one node at the
+// 33 MHz Alewife clock. Languages are the paper's; sizes are this
+// reproduction's scaled instances.
+func Table3(o Options) ([]Table3Row, error) {
+	registry := apps.Registry()
+	if o.Quick {
+		registry = apps.QuickRegistry()
+	}
+	meta := map[string][2]string{
+		"TSP":    {"Mul-T", "11 city tour"},
+		"AQ":     {"Semi-C", "x^4y^4 over ((0,0),(2,2))"},
+		"SMGRID": {"Mul-T", "65 x 65"},
+		"EVOLVE": {"Mul-T", "12 dimensions"},
+		"MP3D":   {"C", "4,096 particles"},
+		"WATER":  {"C", "64 molecules"},
+	}
+	var rows []Table3Row
+	for _, prog := range registry {
+		res, err := runApp(prog, machine.Config{Nodes: 1, Spec: proto.FullMap(), VictimLines: 8})
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s: %w", prog.Name, err)
+		}
+		m := meta[prog.Name]
+		rows = append(rows, Table3Row{
+			Name: prog.Name, Language: m[0], Size: m[1],
+			SeqSeconds: res.Time.Seconds(), SeqCycles: res.Time,
+		})
+	}
+	return rows, nil
+}
+
+// Table3Table renders the rows.
+func Table3Table(rows []Table3Row) *report.Table {
+	t := report.NewTable("Table 3: application characteristics (sequential at 33 MHz)",
+		"name", "language", "size", "sequential")
+	for _, r := range rows {
+		t.AddRow(r.Name, r.Language, r.Size, fmt.Sprintf("%.3f sec", r.SeqSeconds))
+	}
+	return t
+}
+
+// -------------------------------------------------- Figures 3, 4, and 5
+
+// fig4Specs are the protocol spectrum points of the application studies:
+// 0, 1, 2, and 5 hardware pointers plus the full map. The one-pointer
+// protocol is Dir_nH_1S_NB,ACK, as in all of the paper's Section 6 figures.
+func fig4Specs() []proto.Spec {
+	return []proto.Spec{
+		proto.SoftwareOnly(),
+		proto.OnePointer(proto.AckSW),
+		proto.LimitLESS(2),
+		proto.LimitLESS(5),
+		proto.FullMap(),
+	}
+}
+
+// pointerLabel maps a spec to its Figure 4 x-axis position.
+func pointerLabel(s proto.Spec) string {
+	switch {
+	case s.FullMap:
+		return "n"
+	default:
+		return fmt.Sprintf("%d", s.HWPointers)
+	}
+}
+
+// Figure3Data holds the TSP cache-configuration study: run time and
+// speedup per protocol for the plain direct-mapped cache, the perfect
+// instruction-fetch simulator option, and the victim cache.
+type Figure3Data struct {
+	Modes     []string
+	Protocols []string
+	// Speedup[mode][i] is the speedup of protocol i over the sequential
+	// run in the same cache mode.
+	Speedup map[string][]float64
+	// Time[mode][i] is the parallel run time in cycles.
+	Time map[string][]sim.Cycle
+}
+
+// Figure3 reproduces the TSP instruction/data thrashing study on 64 nodes
+// (16 in quick mode).
+func Figure3(o Options) (*Figure3Data, error) {
+	nodes := 64
+	prog := apps.TSP(apps.DefaultTSP())
+	if o.Quick {
+		nodes = 16
+		prog = apps.QuickRegistry()[0]
+	}
+	specs := fig4Specs()
+	d := &Figure3Data{
+		Modes:   []string{"base", "perfect-ifetch", "victim-cache"},
+		Speedup: make(map[string][]float64),
+		Time:    make(map[string][]sim.Cycle),
+	}
+	for _, s := range specs {
+		d.Protocols = append(d.Protocols, pointerLabel(s))
+	}
+	for _, mode := range d.Modes {
+		cfg := machine.Config{Nodes: 1, Spec: proto.FullMap()}
+		apply := func(c *machine.Config) {
+			switch mode {
+			case "perfect-ifetch":
+				c.PerfectIfetch = true
+			case "victim-cache":
+				c.VictimLines = 8
+			}
+		}
+		apply(&cfg)
+		seq, err := runApp(prog, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figure3 seq %s: %w", mode, err)
+		}
+		for _, spec := range specs {
+			pcfg := machine.Config{Nodes: nodes, Spec: spec}
+			apply(&pcfg)
+			res, err := runApp(prog, pcfg)
+			if err != nil {
+				return nil, fmt.Errorf("figure3 %s %s: %w", mode, spec.Name, err)
+			}
+			d.Speedup[mode] = append(d.Speedup[mode], float64(seq.Time)/float64(res.Time))
+			d.Time[mode] = append(d.Time[mode], res.Time)
+		}
+	}
+	return d, nil
+}
+
+// Table renders speedups, protocols as rows and cache modes as columns.
+func (d *Figure3Data) Table() *report.Table {
+	t := report.NewTable("Figure 3: TSP detailed performance analysis (speedup over sequential)",
+		append([]string{"hw pointers"}, d.Modes...)...)
+	for i, p := range d.Protocols {
+		row := []string{p}
+		for _, m := range d.Modes {
+			row = append(row, fmt.Sprintf("%.1f", d.Speedup[m][i]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Figure4Data holds application speedups across the protocol spectrum —
+// the paper's Figure 4 (a)–(f).
+type Figure4Data struct {
+	Apps      []string
+	Protocols []string
+	// Speedup[app][i] is the speedup of protocol i over sequential.
+	Speedup map[string][]float64
+	// Nodes is the machine size used.
+	Nodes int
+}
+
+// Figure4 runs every application across the spectrum with victim caching
+// enabled (the paper's default after the TSP study), on 64 nodes (16 in
+// quick mode, with reduced problem sizes).
+func Figure4(o Options) (*Figure4Data, error) {
+	nodes := 64
+	registry := apps.Registry()
+	if o.Quick {
+		nodes = 16
+		registry = apps.QuickRegistry()
+	}
+	specs := fig4Specs()
+	d := &Figure4Data{Speedup: make(map[string][]float64), Nodes: nodes}
+	for _, s := range specs {
+		d.Protocols = append(d.Protocols, pointerLabel(s))
+	}
+	for _, prog := range registry {
+		d.Apps = append(d.Apps, prog.Name)
+		seq, err := runApp(prog, machine.Config{Nodes: 1, Spec: proto.FullMap(), VictimLines: 8})
+		if err != nil {
+			return nil, fmt.Errorf("figure4 seq %s: %w", prog.Name, err)
+		}
+		for _, spec := range specs {
+			res, err := runApp(prog, machine.Config{Nodes: nodes, Spec: spec, VictimLines: 8})
+			if err != nil {
+				return nil, fmt.Errorf("figure4 %s %s: %w", prog.Name, spec.Name, err)
+			}
+			d.Speedup[prog.Name] = append(d.Speedup[prog.Name],
+				float64(seq.Time)/float64(res.Time))
+		}
+	}
+	return d, nil
+}
+
+// Table renders speedups, hardware-pointer counts as rows.
+func (d *Figure4Data) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 4: application speedups over sequential (%d nodes, victim caching)", d.Nodes),
+		append([]string{"hw pointers"}, d.Apps...)...)
+	for i, p := range d.Protocols {
+		row := []string{p}
+		for _, a := range d.Apps {
+			row = append(row, fmt.Sprintf("%.1f", d.Speedup[a][i]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Figure5Data holds the 256-node TSP run — the paper's Figure 5.
+type Figure5Data struct {
+	Protocols []string
+	Speedup   []float64
+	Nodes     int
+}
+
+// Figure5 runs TSP on 256 nodes with victim caching (64 in quick mode).
+func Figure5(o Options) (*Figure5Data, error) {
+	nodes := 256
+	prog := apps.TSP(apps.DefaultTSP())
+	if o.Quick {
+		nodes = 64
+		prog = apps.QuickRegistry()[0]
+	}
+	seq, err := runApp(prog, machine.Config{Nodes: 1, Spec: proto.FullMap(), VictimLines: 8})
+	if err != nil {
+		return nil, fmt.Errorf("figure5 seq: %w", err)
+	}
+	d := &Figure5Data{Nodes: nodes}
+	for _, spec := range fig4Specs() {
+		res, err := runApp(prog, machine.Config{Nodes: nodes, Spec: spec, VictimLines: 8})
+		if err != nil {
+			return nil, fmt.Errorf("figure5 %s: %w", spec.Name, err)
+		}
+		d.Protocols = append(d.Protocols, pointerLabel(spec))
+		d.Speedup = append(d.Speedup, float64(seq.Time)/float64(res.Time))
+	}
+	return d, nil
+}
+
+// Table renders the speedups.
+func (d *Figure5Data) Table() *report.Table {
+	t := report.NewTable(fmt.Sprintf("Figure 5: TSP on %d nodes (speedup over sequential)", d.Nodes),
+		"hw pointers", "speedup")
+	for i, p := range d.Protocols {
+		t.AddRow(p, fmt.Sprintf("%.1f", d.Speedup[i]))
+	}
+	return t
+}
+
+// -------------------------------------------------------------- Figure 6
+
+// Figure6Data is the worker-set size histogram of EVOLVE — the paper's
+// Figure 6. Buckets map a worker-set size to the number of memory blocks
+// whose largest simultaneous worker set had that size.
+type Figure6Data struct {
+	Hist  *stats.Hist
+	Nodes int
+}
+
+// Figure6 runs EVOLVE on 64 nodes under the full-map protocol (which
+// tracks every worker set exactly) and collects the histogram.
+func Figure6(o Options) (*Figure6Data, error) {
+	nodes := 64
+	prog := apps.Evolve(apps.DefaultEvolve())
+	if o.Quick {
+		nodes = 16
+		prog = apps.QuickRegistry()[3]
+	}
+	m, err := machine.New(machine.Config{Nodes: nodes, Spec: proto.FullMap(), VictimLines: 8})
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := prog.Run(m, 0)
+	if err != nil {
+		return nil, fmt.Errorf("figure6: %w", err)
+	}
+	return &Figure6Data{Hist: res.WorkerSets, Nodes: nodes}, nil
+}
+
+// Table renders the histogram.
+func (d *Figure6Data) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 6: histogram of worker-set sizes for EVOLVE (%d nodes)", d.Nodes),
+		"worker set size", "memory blocks")
+	for _, b := range d.Hist.Buckets() {
+		t.AddRow(fmt.Sprintf("%d", b), fmt.Sprintf("%d", d.Hist.Count(b)))
+	}
+	return t
+}
+
+// ------------------------------------------------------- scaling study
+
+// ScalingData holds speedups as the machine grows, per protocol — the
+// extension of Figure 5's question ("what happens at 256 nodes?") to the
+// whole spectrum.
+type ScalingData struct {
+	Sizes     []int
+	Protocols []string
+	// Speedup[protocol][i] is the speedup at Sizes[i] over sequential.
+	Speedup map[string][]float64
+}
+
+// ScalingStudy runs TSP at increasing machine sizes across four protocol
+// spectrum points.
+func ScalingStudy(o Options) (*ScalingData, error) {
+	sizes := []int{16, 64, 256}
+	prog := apps.TSP(apps.DefaultTSP())
+	if o.Quick {
+		sizes = []int{4, 16}
+		prog = apps.QuickRegistry()[0]
+	}
+	specs := []proto.Spec{
+		proto.SoftwareOnly(),
+		proto.OnePointer(proto.AckSW),
+		proto.LimitLESS(5),
+		proto.FullMap(),
+	}
+	seq, err := runApp(prog, machine.Config{Nodes: 1, Spec: proto.FullMap(), VictimLines: 8})
+	if err != nil {
+		return nil, fmt.Errorf("scaling seq: %w", err)
+	}
+	d := &ScalingData{Sizes: sizes, Speedup: make(map[string][]float64)}
+	for _, s := range specs {
+		d.Protocols = append(d.Protocols, s.Name)
+	}
+	for _, spec := range specs {
+		for _, n := range sizes {
+			res, err := runApp(prog, machine.Config{Nodes: n, Spec: spec, VictimLines: 8})
+			if err != nil {
+				return nil, fmt.Errorf("scaling %s P=%d: %w", spec.Name, n, err)
+			}
+			d.Speedup[spec.Name] = append(d.Speedup[spec.Name],
+				float64(seq.Time)/float64(res.Time))
+		}
+	}
+	return d, nil
+}
+
+// Figure renders the study as speedup series over machine size.
+func (d *ScalingData) Figure() *report.Figure {
+	f := report.NewFigure("Scaling study: TSP speedup vs machine size",
+		"nodes", "speedup over sequential")
+	for _, p := range d.Protocols {
+		s := f.Line(p)
+		for i, n := range d.Sizes {
+			s.Add(float64(n), d.Speedup[p][i])
+		}
+	}
+	return f
+}

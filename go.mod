@@ -1,0 +1,3 @@
+module swex
+
+go 1.22

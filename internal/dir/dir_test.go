@@ -1,0 +1,207 @@
+package dir
+
+import (
+	"testing"
+	"testing/quick"
+
+	"swex/internal/mem"
+)
+
+func TestPointerSetAddUntilOverflow(t *testing.T) {
+	p := NewPointerSet(5)
+	for i := mem.NodeID(0); i < 5; i++ {
+		if !p.Add(i) {
+			t.Fatalf("Add(%d) overflowed below capacity", i)
+		}
+	}
+	if p.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", p.Count())
+	}
+	if p.Add(5) {
+		t.Fatal("sixth pointer did not overflow a 5-pointer set")
+	}
+	if p.Add(3) != true {
+		t.Fatal("re-adding a present pointer should succeed even when full")
+	}
+}
+
+func TestPointerSetRemove(t *testing.T) {
+	p := NewPointerSet(2)
+	p.Add(7)
+	if !p.Remove(7) {
+		t.Fatal("Remove of present pointer failed")
+	}
+	if p.Remove(7) {
+		t.Fatal("Remove of absent pointer succeeded")
+	}
+	if p.Count() != 0 {
+		t.Fatalf("Count = %d after remove, want 0", p.Count())
+	}
+}
+
+func TestPointerSetDrainOrdered(t *testing.T) {
+	p := NewPointerSet(5)
+	for _, id := range []mem.NodeID{130, 2, 65, 0, 99} {
+		p.Add(id)
+	}
+	got := p.Drain()
+	want := []mem.NodeID{0, 2, 65, 99, 130}
+	if len(got) != len(want) {
+		t.Fatalf("Drain returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Drain returned %v, want ascending %v", got, want)
+		}
+	}
+	if p.Count() != 0 {
+		t.Fatal("Drain did not empty the set")
+	}
+}
+
+func TestPointerSetListNonDestructive(t *testing.T) {
+	p := NewPointerSet(3)
+	p.Add(1)
+	p.Add(2)
+	if got := p.List(); len(got) != 2 {
+		t.Fatalf("List = %v, want 2 entries", got)
+	}
+	if p.Count() != 2 {
+		t.Fatal("List modified the set")
+	}
+}
+
+func TestPointerSetZeroCapacity(t *testing.T) {
+	p := NewPointerSet(0)
+	if p.Add(0) {
+		t.Fatal("zero-capacity set accepted a pointer (Dir_nH_0 has none)")
+	}
+}
+
+func TestPointerSetBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity beyond MaxNodes did not panic")
+		}
+	}()
+	NewPointerSet(MaxNodes + 1)
+}
+
+// Property: Add/Remove maintain Count == |set| and Has agrees with
+// membership, with capacity never exceeded.
+func TestPointerSetPropertyConsistent(t *testing.T) {
+	f := func(ops []uint16) bool {
+		p := NewPointerSet(5)
+		ref := map[mem.NodeID]bool{}
+		for _, op := range ops {
+			id := mem.NodeID(op % MaxNodes)
+			if op&0x8000 == 0 {
+				if p.Add(id) {
+					ref[id] = true
+				} else if len(ref) < 5 && !ref[id] {
+					return false // refused below capacity
+				}
+			} else {
+				if p.Remove(id) != ref[id] {
+					return false
+				}
+				delete(ref, id)
+			}
+			if p.Count() != len(ref) || p.Count() > 5 {
+				return false
+			}
+			if p.Has(id) != ref[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntrySharers(t *testing.T) {
+	e := &Entry{Ptrs: NewPointerSet(5)}
+	if e.Sharers() != 0 {
+		t.Fatalf("fresh entry Sharers = %d, want 0", e.Sharers())
+	}
+	e.Ptrs.Add(1)
+	e.Ptrs.Add(2)
+	e.LocalBit = true
+	e.SwCount = 3
+	if e.Sharers() != 6 {
+		t.Fatalf("Sharers = %d, want 6 (2 ptrs + local + 3 sw)", e.Sharers())
+	}
+	e.State = Exclusive
+	if e.Sharers() != 7 {
+		t.Fatalf("Sharers = %d with owner, want 7", e.Sharers())
+	}
+}
+
+func TestEntryNoteSharersTracksMax(t *testing.T) {
+	e := &Entry{Ptrs: NewPointerSet(5)}
+	e.Ptrs.Add(1)
+	e.NoteSharers()
+	e.Ptrs.Add(2)
+	e.NoteSharers()
+	e.Ptrs.Clear()
+	e.NoteSharers()
+	if e.MaxSharers != 2 {
+		t.Fatalf("MaxSharers = %d, want 2", e.MaxSharers)
+	}
+}
+
+func TestDirectoryEntryCreation(t *testing.T) {
+	d := New(5)
+	e := d.Entry(10)
+	if e.State != Uncached {
+		t.Fatal("fresh entry not Uncached")
+	}
+	if e.Ptrs.Cap() != 5 {
+		t.Fatalf("entry capacity %d, want 5", e.Ptrs.Cap())
+	}
+	if d.Entry(10) != e {
+		t.Fatal("Entry is not idempotent")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestDirectoryPeek(t *testing.T) {
+	d := New(2)
+	if _, ok := d.Peek(3); ok {
+		t.Fatal("Peek invented an entry")
+	}
+	d.Entry(3)
+	if _, ok := d.Peek(3); !ok {
+		t.Fatal("Peek missed an existing entry")
+	}
+}
+
+func TestDirectoryForEachOrdered(t *testing.T) {
+	d := New(1)
+	for _, b := range []mem.Block{9, 1, 5, 3} {
+		d.Entry(b)
+	}
+	var seen []mem.Block
+	d.ForEach(func(b mem.Block, _ *Entry) { seen = append(seen, b) })
+	want := []mem.Block{1, 3, 5, 9}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		Uncached: "Uncached", Shared: "Shared", Exclusive: "Exclusive",
+		AckWait: "AckWait", Recall: "Recall", SWait: "SWait",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

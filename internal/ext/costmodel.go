@@ -1,0 +1,251 @@
+package ext
+
+import (
+	"swex/internal/sim"
+	"swex/internal/stats"
+)
+
+// CostModel gives the cycle cost of each activity a protocol handler
+// performs. The two presets reproduce the paper's Table 2: the flexible C
+// interface and the hand-tuned assembly handlers. Costs that depend on how
+// much work the handler did (pointers stored, invalidations sent) are
+// split into base + per-item terms calibrated so the Table 2 column totals
+// emerge at the paper's measurement point (8 readers, 1 writer).
+type CostModel struct {
+	Name string
+
+	TrapDispatchRead  sim.Cycle
+	TrapDispatchWrite sim.Cycle
+	MsgDispatch       sim.Cycle
+	ProtoDispatch     sim.Cycle // flexible interface only
+	DecodeRead        sim.Cycle
+	DecodeWrite       sim.Cycle
+	SaveState         sim.Cycle // flexible interface only
+	SaveStateWrite    sim.Cycle
+
+	// Memory management: allocating a fresh extended entry, recycling
+	// one from the free list, touching an existing entry, and freeing
+	// one on a write fault.
+	MemAlloc sim.Cycle
+	MemReuse sim.Cycle
+	MemTouch sim.Cycle
+	MemFree  sim.Cycle
+	// MemSmall replaces MemAlloc/MemReuse under the memory-usage
+	// optimization (paper Section 5): worker sets of four or fewer are
+	// kept inline in the entry, skipping the full structure allocation.
+	// The optimization is implemented by the Dir_nH_1S_NB,LACK,
+	// Dir_nH_1S_NB,ACK and Dir_nH_0S_NB,ACK handlers.
+	MemSmall sim.Cycle
+
+	// Hash table administration: inserting a new entry versus looking up
+	// an existing one, plus a per-probe chain cost. Zero for the
+	// assembly version, which exploits the hardware directory format for
+	// direct lookup.
+	HashInsert sim.Cycle
+	HashLookup sim.Cycle
+	HashProbe  sim.Cycle
+
+	// Storing pointers into the extended directory (reads) and reading
+	// them back out for invalidation (writes).
+	StoreBase     sim.Cycle
+	StorePerPtr   sim.Cycle
+	StoreWrBase   sim.Cycle
+	StoreWrPerPtr sim.Cycle
+
+	// Invalidation lookup and transmit: sequential transmission charges
+	// InvPerMsg per message; the parallel-invalidation enhancement
+	// (paper Section 7, "dynamically selecting sequential or parallel
+	// invalidation procedures") overlaps transmission with the CMMU and
+	// charges InvPerMsgPar.
+	InvBase      sim.Cycle
+	InvPerMsg    sim.Cycle
+	InvPerMsgPar sim.Cycle
+
+	// TransmitData is charged when the software itself sends a data
+	// reply (software-only directory reads, and the last-acknowledgment
+	// handlers of the LACK/ACK variants).
+	TransmitData sim.Cycle
+
+	NonAlewifeRead  sim.Cycle // flexible interface only
+	NonAlewifeWrite sim.Cycle
+	TrapReturnRead  sim.Cycle
+	TrapReturnWrite sim.Cycle
+
+	// AckDecode is the per-acknowledgment handler body of the ACK
+	// variants (on top of dispatch and return).
+	AckDecode sim.Cycle
+}
+
+// FlexibleC is the flexible coherence interface written in C
+// (paper Section 4.1). Table 2 column totals: read 480, write 737.
+func FlexibleC() CostModel {
+	return CostModel{
+		Name:              "C",
+		TrapDispatchRead:  11,
+		TrapDispatchWrite: 9,
+		MsgDispatch:       14,
+		ProtoDispatch:     10,
+		DecodeRead:        22,
+		DecodeWrite:       52,
+		SaveState:         24,
+		SaveStateWrite:    17,
+		MemAlloc:          60,
+		MemReuse:          30,
+		MemTouch:          10,
+		MemFree:           28,
+		MemSmall:          14,
+		HashInsert:        80,
+		HashLookup:        50,
+		HashProbe:         4,
+		StoreBase:         7,
+		StorePerPtr:       38,
+		StoreWrBase:       3,
+		StoreWrPerPtr:     12,
+		InvBase:           3,
+		InvPerMsg:         52,
+		InvPerMsgPar:      14,
+		TransmitData:      30,
+		NonAlewifeRead:    10,
+		NonAlewifeWrite:   6,
+		TrapReturnRead:    14,
+		TrapReturnWrite:   9,
+		AckDecode:         18,
+	}
+}
+
+// TunedASM is the hand-tuned assembly implementation (paper Section 4.1):
+// no protocol-specific dispatch, no saved state, no hash table (the
+// directory format admits direct lookup), boot-time free lists. Table 2
+// column totals: read 193, write 384. It implements only Dir_nH_5S_NB.
+func TunedASM() CostModel {
+	return CostModel{
+		Name:              "Assembly",
+		TrapDispatchRead:  11,
+		TrapDispatchWrite: 11,
+		MsgDispatch:       15,
+		DecodeRead:        17,
+		DecodeWrite:       40,
+		MemAlloc:          65,
+		MemReuse:          65, // pre-initialized free list: constant time
+		MemTouch:          10,
+		MemFree:           11,
+		MemSmall:          20,
+		StoreBase:         2,
+		StorePerPtr:       12,
+		StoreWrBase:       5,
+		StoreWrPerPtr:     5,
+		InvBase:           3,
+		InvPerMsg:         31,
+		InvPerMsgPar:      8,
+		TransmitData:      15,
+		TrapReturnRead:    11,
+		TrapReturnWrite:   11,
+		AckDecode:         10,
+	}
+}
+
+// readAllocKind tells readCost how the extended entry was obtained.
+type readAllocKind int
+
+const (
+	allocFresh readAllocKind = iota // new entry, fresh allocation
+	allocReuse                      // new entry, recycled from the free list
+	allocTouch                      // entry already existed
+)
+
+// readCost prices a read-overflow handler that stored `stored` pointers
+// into an entry obtained per kind, traversing `probes` hash chain links.
+// sendsData marks protocols whose software transmits the data reply.
+func (c *CostModel) readCost(kind readAllocKind, stored, probes int, sendsData, smallOpt bool) (sim.Cycle, stats.Breakdown) {
+	var b stats.Breakdown
+	b[stats.ActTrapDispatch] = uint64(c.TrapDispatchRead)
+	b[stats.ActMsgDispatch] = uint64(c.MsgDispatch)
+	b[stats.ActProtoDispatch] = uint64(c.ProtoDispatch)
+	b[stats.ActDecodeModify] = uint64(c.DecodeRead)
+	b[stats.ActSaveState] = uint64(c.SaveState)
+	switch kind {
+	case allocFresh:
+		b[stats.ActMemMgmt] = uint64(c.MemAlloc)
+		b[stats.ActHashAdmin] = uint64(c.HashInsert)
+	case allocReuse:
+		b[stats.ActMemMgmt] = uint64(c.MemReuse)
+		b[stats.ActHashAdmin] = uint64(c.HashInsert)
+	case allocTouch:
+		b[stats.ActMemMgmt] = uint64(c.MemTouch)
+		b[stats.ActHashAdmin] = uint64(c.HashLookup)
+	}
+	if smallOpt && kind != allocTouch {
+		// Inline small-set representation: no full structure allocation.
+		b[stats.ActMemMgmt] = uint64(c.MemSmall)
+	}
+	if b[stats.ActHashAdmin] > 0 && probes > 1 {
+		b[stats.ActHashAdmin] += uint64(sim.Cycle(probes-1) * c.HashProbe)
+	}
+	b[stats.ActStorePointers] = uint64(c.StoreBase + sim.Cycle(stored)*c.StorePerPtr)
+	if sendsData {
+		b[stats.ActInvalidate] = uint64(c.TransmitData)
+	}
+	b[stats.ActNonAlewife] = uint64(c.NonAlewifeRead)
+	b[stats.ActTrapReturn] = uint64(c.TrapReturnRead)
+	return sim.Cycle(b.Total()), b
+}
+
+// writeCost prices a write-fault handler that walked `sharers` extended
+// pointers and transmitted `invs` invalidations.
+func (c *CostModel) writeCost(sharers, invs, probes int, freed, parallelInv bool) (sim.Cycle, stats.Breakdown) {
+	var b stats.Breakdown
+	b[stats.ActTrapDispatch] = uint64(c.TrapDispatchWrite)
+	b[stats.ActMsgDispatch] = uint64(c.MsgDispatch)
+	b[stats.ActProtoDispatch] = uint64(c.ProtoDispatch)
+	b[stats.ActDecodeModify] = uint64(c.DecodeWrite)
+	b[stats.ActSaveState] = uint64(c.SaveStateWrite)
+	if freed {
+		b[stats.ActMemMgmt] = uint64(c.MemFree)
+		b[stats.ActHashAdmin] = uint64(c.HashLookup)
+		if probes > 1 {
+			b[stats.ActHashAdmin] += uint64(sim.Cycle(probes-1) * c.HashProbe)
+		}
+	} else {
+		b[stats.ActMemMgmt] = uint64(c.MemTouch)
+	}
+	// The C column of Table 2 reports hash administration of 74 for the
+	// write request; the lookup-plus-free path above approximates it.
+	if c.HashLookup > 0 && freed {
+		b[stats.ActHashAdmin] += uint64(c.HashProbe) * 6 // unlink bookkeeping
+	}
+	b[stats.ActStorePointers] = uint64(c.StoreWrBase + sim.Cycle(sharers)*c.StoreWrPerPtr)
+	per := c.InvPerMsg
+	if parallelInv {
+		per = c.InvPerMsgPar
+	}
+	b[stats.ActInvalidate] = uint64(c.InvBase + sim.Cycle(invs)*per)
+	b[stats.ActNonAlewife] = uint64(c.NonAlewifeWrite)
+	b[stats.ActTrapReturn] = uint64(c.TrapReturnWrite)
+	return sim.Cycle(b.Total()), b
+}
+
+// batchedReadCost prices recording one additional reader inside an
+// already-running read handler: the handler loops over the CMMU's queued
+// messages, so a piggybacked request pays message decode and pointer-store
+// work but no fresh trap, dispatch, or allocation.
+func (c *CostModel) batchedReadCost(sendsData bool) sim.Cycle {
+	cost := c.MsgDispatch + c.DecodeRead + c.StoreBase + c.StorePerPtr
+	if sendsData {
+		cost += c.TransmitData
+	}
+	return cost
+}
+
+// ackCost prices one software-handled acknowledgment.
+func (c *CostModel) ackCost(last bool) (sim.Cycle, stats.Breakdown) {
+	var b stats.Breakdown
+	b[stats.ActTrapDispatch] = uint64(c.TrapDispatchWrite)
+	b[stats.ActMsgDispatch] = uint64(c.MsgDispatch)
+	b[stats.ActProtoDispatch] = uint64(c.ProtoDispatch)
+	b[stats.ActDecodeModify] = uint64(c.AckDecode)
+	if last {
+		b[stats.ActInvalidate] = uint64(c.TransmitData)
+	}
+	b[stats.ActTrapReturn] = uint64(c.TrapReturnWrite)
+	return sim.Cycle(b.Total()), b
+}

@@ -1,0 +1,138 @@
+// Package ext implements the protocol extension software: the directory
+// structures, memory management, and handler logic that run on a node's
+// processor when the hardware directory traps.
+//
+// Two implementations mirror the paper's Section 4. The flexible coherence
+// interface (the C version) pays for generality: protocol-specific
+// dispatch, saved state for function calls, hash-table administration, and
+// support for non-Alewife protocols all cost cycles. The hand-tuned
+// assembly version specializes directory allocation and lookup, roughly
+// halving handler latency, but supports only Dir_nH_5S_NB.
+//
+// The data structures here are real — a hash table of extended directory
+// entries and a free-list allocator — and the cost model charges cycles
+// for the activities the handlers actually perform, so the Table 1 and
+// Table 2 measurements emerge from executed code rather than from fixed
+// constants.
+package ext
+
+import "swex/internal/mem"
+
+// entry is one software-extended directory entry. Small worker sets live
+// in the inline array (the paper's memory-usage optimization, Section 5:
+// "attempts to reduce the size of the software-extended directory when
+// handling small worker sets"); larger sets spill to a bitset.
+type entry struct {
+	block  mem.Block
+	inline [inlineSharers]mem.NodeID
+	n      int
+	spill  []uint64 // bitset, allocated on demand
+	next   *entry   // hash chain / free list link
+}
+
+// inlineSharers is the inline capacity before an entry spills; worker sets
+// of four or fewer avoid the spill allocation, which is why the
+// H1,LACK/H1,ACK/H0 protocols run faster on worker sets of at most four.
+const inlineSharers = 4
+
+// add records a sharer, reporting whether it was new.
+func (e *entry) add(id mem.NodeID, maxNodes int) bool {
+	if e.has(id) {
+		return false
+	}
+	if e.spill == nil && e.n < inlineSharers {
+		e.inline[e.n] = id
+		e.n++
+		return true
+	}
+	if e.spill == nil {
+		e.spill = make([]uint64, (maxNodes+63)/64)
+		for i := 0; i < e.n; i++ {
+			s := e.inline[i]
+			e.spill[s/64] |= 1 << (uint(s) % 64)
+		}
+	}
+	e.spill[id/64] |= 1 << (uint(id) % 64)
+	e.n++
+	return true
+}
+
+func (e *entry) has(id mem.NodeID) bool {
+	if e.spill != nil {
+		return e.spill[id/64]&(1<<(uint(id)%64)) != 0
+	}
+	for i := 0; i < e.n; i++ {
+		if e.inline[i] == id {
+			return true
+		}
+	}
+	return false
+}
+
+// sharers lists the recorded nodes in ascending order.
+func (e *entry) sharers() []mem.NodeID {
+	out := make([]mem.NodeID, 0, e.n)
+	if e.spill == nil {
+		out = append(out, e.inline[:e.n]...)
+		// Inline entries are in insertion order; sort the short list.
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j] < out[j-1]; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		return out
+	}
+	for w, bits := range e.spill {
+		for bits != 0 {
+			low := bits & (-bits)
+			idx := 0
+			for low>>uint(idx) != 1 {
+				idx++
+			}
+			out = append(out, mem.NodeID(w*64+idx))
+			bits &^= low
+		}
+	}
+	return out
+}
+
+// spilled reports whether the entry outgrew its inline storage.
+func (e *entry) spilled() bool { return e.spill != nil }
+
+// reset clears an entry for reuse by the free list.
+func (e *entry) reset() {
+	e.block = 0
+	e.n = 0
+	e.spill = nil
+	e.next = nil
+}
+
+// freeList recycles extended directory entries, mirroring the flexible
+// interface's "free-listing memory manager" and the assembly version's
+// boot-time pre-initialized free list.
+type freeList struct {
+	head *entry
+	// Allocs and Reuses count fresh allocations versus recycled entries;
+	// the cost model charges them differently.
+	Allocs, Reuses uint64
+}
+
+// get returns a clean entry, recycling if possible.
+func (f *freeList) get() *entry {
+	if f.head != nil {
+		e := f.head
+		f.head = e.next
+		e.next = nil
+		f.Reuses++
+		return e
+	}
+	f.Allocs++
+	return &entry{}
+}
+
+// put recycles an entry.
+func (f *freeList) put(e *entry) {
+	e.reset()
+	e.next = f.head
+	f.head = e
+}

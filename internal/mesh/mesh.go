@@ -1,0 +1,184 @@
+// Package mesh models the Alewife interconnect: a two-dimensional mesh with
+// dimension-ordered (X-then-Y) routing. Matching NWO's stated fidelity
+// (paper Section 3.2), contention is modeled at each node's CMMU network
+// transmit and receive queues but not inside the network switches: a
+// message waits for its source transmit queue, flows through the mesh at a
+// fixed per-hop latency, and then waits for its destination receive queue.
+package mesh
+
+import (
+	"fmt"
+
+	"swex/internal/sim"
+)
+
+// Config sets the network timing parameters.
+type Config struct {
+	// Width and Height give the mesh dimensions; Width*Height nodes.
+	Width, Height int
+	// HopCycles is the switch/wire latency per mesh hop.
+	HopCycles sim.Cycle
+	// FlitCycles is the per-flit serialization time at the transmit and
+	// receive queues (one flit per FlitCycles once the channel is free).
+	FlitCycles sim.Cycle
+	// LocalCycles is the loopback latency for a node messaging itself
+	// (the CMMU turns the message around without entering the mesh).
+	LocalCycles sim.Cycle
+}
+
+// DefaultConfig returns the timing used throughout the experiments: a
+// square mesh sized for n nodes with single-cycle flits and two-cycle hops.
+func DefaultConfig(n int) Config {
+	w, h := Dimensions(n)
+	return Config{
+		Width:       w,
+		Height:      h,
+		HopCycles:   2,
+		FlitCycles:  1,
+		LocalCycles: 2,
+	}
+}
+
+// Dimensions chooses a near-square WxH factorization for n nodes,
+// preferring powers of two (Alewife machines were 2^k meshes).
+func Dimensions(n int) (w, h int) {
+	if n <= 0 {
+		return 1, 1
+	}
+	// Largest w <= sqrt(n) dividing n.
+	w = 1
+	for c := 1; c*c <= n; c++ {
+		if n%c == 0 {
+			w = c
+		}
+	}
+	return w, n / w
+}
+
+// Network is the mesh interconnect shared by all nodes of a machine.
+type Network struct {
+	cfg    Config
+	engine *sim.Engine
+	tx     []sim.Server // per-node transmit queue
+	rx     []sim.Server // per-node receive queue
+
+	// Messages counts all messages sent; Flits counts total flits.
+	Messages uint64
+	Flits    uint64
+	// HopTotal accumulates hop counts for mean-distance statistics.
+	HopTotal uint64
+}
+
+// New creates a network over the given engine. It panics if the
+// configuration is degenerate, since a machine without a network is a
+// construction error rather than a runtime condition.
+func New(engine *sim.Engine, cfg Config) *Network {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic(fmt.Sprintf("mesh: bad dimensions %dx%d", cfg.Width, cfg.Height))
+	}
+	if cfg.FlitCycles == 0 {
+		cfg.FlitCycles = 1
+	}
+	n := cfg.Width * cfg.Height
+	return &Network{
+		cfg:    cfg,
+		engine: engine,
+		tx:     make([]sim.Server, n),
+		rx:     make([]sim.Server, n),
+	}
+}
+
+// Nodes reports the number of nodes the network connects.
+func (n *Network) Nodes() int { return n.cfg.Width * n.cfg.Height }
+
+// Coord maps a node id to its (x, y) mesh coordinate.
+func (n *Network) Coord(id int) (x, y int) {
+	return id % n.cfg.Width, id / n.cfg.Width
+}
+
+// Hops returns the dimension-ordered routing distance between two nodes.
+func (n *Network) Hops(src, dst int) int {
+	sx, sy := n.Coord(src)
+	dx, dy := n.Coord(dst)
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Send injects a message of size flits from src to dst and schedules
+// deliver to run at the cycle the destination CMMU has fully received it.
+// The returned cycle is the delivery time. extra adds source-side latency
+// before injection (e.g. the DRAM access feeding a data reply) without
+// giving up the message's place in the queues.
+//
+// The latency model is:
+//
+//	inject  = wait for src transmit queue, then extra + size*FlitCycles
+//	flight  = hops * HopCycles
+//	receive = wait for dst receive queue, then size*FlitCycles
+//
+// A self-send bypasses the mesh and costs LocalCycles after the transmit
+// queue drains.
+//
+// Ordering guarantee: because both queues are reserved at call time in
+// call order, deliveries to a given destination occur in global Send-call
+// order. The coherence protocol depends on this: a data reply sent before
+// an invalidation of the same block must arrive first.
+func (n *Network) Send(src, dst, size int, extra sim.Cycle, deliver func()) sim.Cycle {
+	if size < 1 {
+		size = 1
+	}
+	now := n.engine.Now()
+	n.Messages++
+	n.Flits += uint64(size)
+
+	ser := sim.Cycle(size) * n.cfg.FlitCycles
+	txStart := n.tx[src].Reserve(now, extra+ser)
+	injected := txStart + extra + ser
+
+	if src == dst {
+		at := injected + n.cfg.LocalCycles
+		n.engine.At(at, deliver)
+		return at
+	}
+
+	hops := n.Hops(src, dst)
+	n.HopTotal += uint64(hops)
+	arrival := injected + sim.Cycle(hops)*n.cfg.HopCycles
+
+	// The receive queue cannot start before the head flit arrives; model
+	// the reservation from the arrival time. Reserving the future is
+	// sound because the Server orders by reservation call order, and the
+	// engine fires events deterministically.
+	rxStart := n.rx[dst].Reserve(arrival, ser)
+	done := rxStart + ser
+	n.engine.At(done, deliver)
+	return done
+}
+
+// TxUtilization returns the fraction of elapsed cycles node id's transmit
+// queue was busy. Useful for hot-spot analysis.
+func (n *Network) TxUtilization(id int) float64 {
+	now := n.engine.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(n.tx[id].Busy) / float64(now)
+}
+
+// RxWaited returns the total cycles messages spent waiting in node id's
+// receive queue.
+func (n *Network) RxWaited(id int) sim.Cycle { return n.rx[id].Waited }
+
+// MeanHops returns the average hop count over all non-local messages.
+func (n *Network) MeanHops() float64 {
+	if n.Messages == 0 {
+		return 0
+	}
+	return float64(n.HopTotal) / float64(n.Messages)
+}

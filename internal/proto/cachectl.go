@@ -1,0 +1,367 @@
+package proto
+
+import (
+	"fmt"
+
+	"swex/internal/cache"
+	"swex/internal/mem"
+	"swex/internal/sim"
+)
+
+// CacheConfig sets the processor-side cache geometry and the instruction
+// fetch model.
+type CacheConfig struct {
+	// Cache is the combined I/D cache geometry.
+	Cache cache.Config
+	// PerfectIfetch makes every instruction fetch a one-cycle hit that
+	// bypasses the cache entirely — the NWO simulator option the paper
+	// uses to isolate instruction/data thrashing (Section 6, TSP).
+	PerfectIfetch bool
+}
+
+// DefaultCacheConfig is the Alewife node cache without a victim cache.
+func DefaultCacheConfig() CacheConfig {
+	return CacheConfig{Cache: cache.DefaultConfig()}
+}
+
+// Op is one processor memory operation presented to the cache controller.
+type Op struct {
+	// Write requests exclusive ownership and stores a value.
+	Write bool
+	// Value is stored on a write (ignored when RMW is set).
+	Value uint64
+	// RMW, when non-nil, makes the write an atomic read-modify-write:
+	// the new value is RMW(old). Done receives the old value.
+	RMW func(old uint64) uint64
+	// Done is called when the operation commits, with the value read
+	// (for reads and RMWs) or the value written (for plain writes).
+	Done func(v uint64)
+}
+
+// txn is one outstanding miss transaction: at most one per block per node.
+type txn struct {
+	write   bool
+	addr    mem.Addr
+	waiters []pendingOp
+	retries int
+}
+
+type pendingOp struct {
+	addr mem.Addr
+	op   Op
+}
+
+type watcher struct {
+	addr mem.Addr
+	old  uint64
+	done func(v uint64)
+}
+
+// CacheCtl is the processor side of a node's CMMU: it services the
+// processor's loads, stores, and instruction fetches against the cache,
+// creates miss transactions, and answers the home's invalidation requests.
+type CacheCtl struct {
+	f    *Fabric
+	node mem.NodeID
+	c    *cache.Cache
+	cfg  CacheConfig
+
+	txns     map[mem.Block]*txn
+	watchers map[mem.Block][]watcher
+
+	// Retries counts BUSY-induced retransmissions.
+	Retries uint64
+	// IfetchStall accumulates cycles lost to instruction fills.
+	IfetchStall sim.Cycle
+}
+
+func newCacheCtl(f *Fabric, node mem.NodeID, cfg CacheConfig) *CacheCtl {
+	return &CacheCtl{
+		f:        f,
+		node:     node,
+		c:        cache.New(cfg.Cache),
+		cfg:      cfg,
+		txns:     make(map[mem.Block]*txn),
+		watchers: make(map[mem.Block][]watcher),
+	}
+}
+
+// Cache exposes the underlying cache (statistics, tests).
+func (cc *CacheCtl) Cache() *cache.Cache { return cc.c }
+
+// HasBlock reports whether the block is resident, without perturbing
+// statistics. The home controller uses it to decide whether the
+// software-only directory needs to flush the local copy.
+func (cc *CacheCtl) HasBlock(b mem.Block) (cache.Line, bool) { return cc.c.Peek(b) }
+
+// Access presents one data operation. Done fires when it commits; for
+// misses that is when the fill (or ownership grant) arrives and the
+// operation replays.
+func (cc *CacheCtl) Access(a mem.Addr, op Op) {
+	b := mem.BlockOf(a)
+	off := int(a - b.Base())
+	if line, ok := cc.c.Lookup(b, false); ok {
+		if !op.Write {
+			op.Done(line.Words[off])
+			return
+		}
+		if line.State == cache.Exclusive {
+			old := line.Words[off]
+			nv := op.Value
+			if op.RMW != nil {
+				nv = op.RMW(old)
+			}
+			line.Words[off] = nv
+			line.Dirty = true
+			if op.RMW != nil {
+				op.Done(old)
+			} else {
+				op.Done(nv)
+			}
+			return
+		}
+		// Shared copy, write requested: upgrade through the home.
+	}
+	cc.enqueue(a, op)
+}
+
+// enqueue adds the operation to the block's miss transaction, creating and
+// issuing one if necessary.
+func (cc *CacheCtl) enqueue(a mem.Addr, op Op) {
+	b := mem.BlockOf(a)
+	t, ok := cc.txns[b]
+	if !ok {
+		t = &txn{write: op.Write, addr: a}
+		cc.txns[b] = t
+		cc.issue(b, t)
+	}
+	t.waiters = append(t.waiters, pendingOp{a, op})
+}
+
+// issue sends the transaction's request message to the home.
+func (cc *CacheCtl) issue(b mem.Block, t *txn) {
+	kind := MsgRREQ
+	if t.write {
+		kind = MsgWREQ
+	}
+	cc.f.Send(Msg{Kind: kind, Src: cc.node, Dst: mem.HomeOfBlock(b), Block: b})
+}
+
+// Ifetch presents one instruction fetch for the block containing pc.
+// Instructions are read-only and homed locally, so a miss fills from local
+// memory without coherence traffic; what matters is that fills occupy a
+// line in the combined cache and can displace shared data.
+func (cc *CacheCtl) Ifetch(pc mem.Addr, done func()) {
+	if cc.cfg.PerfectIfetch {
+		done()
+		return
+	}
+	b := mem.BlockOf(pc)
+	if _, ok := cc.c.Lookup(b, true); ok {
+		done()
+		return
+	}
+	lat := cc.f.Timing.MemLatency
+	cc.IfetchStall += lat
+	cc.f.Engine.After(lat, func() {
+		cc.install(cache.Line{Block: b, State: cache.Shared})
+		done()
+	})
+}
+
+// CheckOut acquires exclusive ownership of the block containing a without
+// modifying it — the CICO "check-out" directive. A thread that checks a
+// block out before its read-modify-write sequence pays one transaction
+// instead of a read recall followed by an upgrade. Done fires when
+// ownership is local.
+func (cc *CacheCtl) CheckOut(a mem.Addr, done func()) {
+	b := mem.BlockOf(a)
+	if line, ok := cc.c.Lookup(b, false); ok && line.State == cache.Exclusive {
+		done()
+		return
+	}
+	t, ok := cc.txns[b]
+	if !ok {
+		t = &txn{write: true, addr: a}
+		cc.txns[b] = t
+		cc.issue(b, t)
+	}
+	t.write = true // piggyback on (and upgrade) any pending transaction
+	// The joined transaction may have been a read whose RREQ is already
+	// in flight: its Shared fill does not confer ownership, so the
+	// waiter re-verifies and retries (the retry upgrades) until the
+	// line is exclusive.
+	t.waiters = append(t.waiters, pendingOp{a, Op{Done: func(uint64) {
+		if line, ok := cc.c.Peek(b); ok && line.State == cache.Exclusive {
+			done()
+			return
+		}
+		cc.CheckOut(a, done)
+	}}})
+}
+
+// CheckIn relinquishes the local copy of the block containing a: the
+// programmer's hint that this node is done with the data (the CICO
+// "check-in" directive). A dirty copy is written back; a clean copy sends
+// a relinquish message so the home retires the pointer; an absent copy is
+// a no-op. The directive never blocks: done fires immediately after the
+// local flush is issued.
+func (cc *CacheCtl) CheckIn(a mem.Addr, done func()) {
+	b := mem.BlockOf(a)
+	if _, pending := cc.txns[b]; pending {
+		// A transaction is in flight; checking in now would race it.
+		done()
+		return
+	}
+	line, had := cc.c.Invalidate(b)
+	if !had {
+		done()
+		return
+	}
+	home := mem.HomeOfBlock(b)
+	if line.Dirty {
+		cc.f.Send(Msg{Kind: MsgWB, Src: cc.node, Dst: home, Block: b, Words: line.Words})
+	} else {
+		cc.f.Send(Msg{Kind: MsgREL, Src: cc.node, Dst: home, Block: b})
+	}
+	cc.wakeWatchers(b)
+	done()
+}
+
+// Watch implements the spin-wait primitive: it completes as soon as the
+// word at a differs from old. While the value is unchanged the thread
+// parks; an invalidation or eviction of the block re-arms a fresh read, so
+// the coherence traffic of a real spin loop (re-fetch after each
+// invalidation) is modeled without simulating every spin iteration.
+func (cc *CacheCtl) Watch(a mem.Addr, old uint64, done func(v uint64)) {
+	cc.Access(a, Op{Done: func(v uint64) {
+		if v != old {
+			done(v)
+			return
+		}
+		b := mem.BlockOf(a)
+		cc.watchers[b] = append(cc.watchers[b], watcher{a, old, done})
+	}})
+}
+
+// wakeWatchers re-arms every watcher on block b.
+func (cc *CacheCtl) wakeWatchers(b mem.Block) {
+	ws := cc.watchers[b]
+	if len(ws) == 0 {
+		return
+	}
+	delete(cc.watchers, b)
+	for _, w := range ws {
+		w := w
+		cc.f.Engine.After(1, func() { cc.Watch(w.addr, w.old, w.done) })
+	}
+}
+
+// install puts a fill into the cache and disposes of whatever it displaces.
+func (cc *CacheCtl) install(l cache.Line) {
+	evicted, was := cc.c.Insert(l)
+	if !was {
+		return
+	}
+	cc.f.Counters.Inc("cache.evictions")
+	if evicted.Dirty {
+		cc.f.Send(Msg{
+			Kind: MsgWB, Src: cc.node, Dst: mem.HomeOfBlock(evicted.Block),
+			Block: evicted.Block, Words: evicted.Words,
+		})
+	}
+	// A silently dropped clean line leaves a stale directory pointer;
+	// the eventual invalidation will be acknowledged as absent.
+	cc.wakeWatchers(evicted.Block)
+}
+
+// Deliver handles a protocol message addressed to this cache.
+func (cc *CacheCtl) Deliver(m Msg) {
+	switch m.Kind {
+	case MsgRDATA:
+		cc.fill(m, cache.Shared)
+	case MsgWDATA:
+		cc.fill(m, cache.Exclusive)
+	case MsgBUSY:
+		cc.onBusy(m)
+	case MsgINV:
+		cc.onInv(m)
+	default:
+		panic(fmt.Sprintf("proto: cache received %s", m.Kind))
+	}
+}
+
+// fill installs arrived data and replays the transaction's waiters.
+func (cc *CacheCtl) fill(m Msg, st cache.LineState) {
+	b := m.Block
+	t, ok := cc.txns[b]
+	if !ok {
+		// A reply with no transaction: protocol error.
+		panic(fmt.Sprintf("proto: node %d got %s for block %d with no transaction",
+			cc.node, m.Kind, b))
+	}
+	delete(cc.txns, b)
+	cc.install(cache.Line{Block: b, State: st, Words: m.Words})
+	cc.f.check(b, "fill")
+	// Replay waiters synchronously, within the fill delivery event: the
+	// transaction store retires the waiting load or store as part of the
+	// fill. This must not be deferred — a racing invalidation is
+	// guaranteed to be delivered after this event (per-destination
+	// ordering), and deferring the replay past it would let ownership be
+	// yanked before the pending write commits, livelocking contended
+	// writes. Reads hit immediately; a write against a Shared fill
+	// re-issues as an upgrade, which is progress.
+	for _, w := range t.waiters {
+		cc.Access(w.addr, w.op)
+	}
+}
+
+// onBusy retries the transaction after the configured delay.
+func (cc *CacheCtl) onBusy(m Msg) {
+	t, ok := cc.txns[m.Block]
+	if !ok {
+		return // transaction already satisfied (should not happen)
+	}
+	t.retries++
+	cc.Retries++
+	cc.f.Counters.Inc("cache.busy_retries")
+	b := m.Block
+	cc.f.Engine.After(cc.f.Timing.RetryDelay, func() {
+		if cur, ok := cc.txns[b]; ok && cur == t {
+			cc.issue(b, t)
+		}
+	})
+}
+
+// onInv invalidates the local copy and acknowledges: UPDATE with the data
+// if the copy was dirty, ACK otherwise (including the stale-pointer case
+// where the copy is already gone).
+func (cc *CacheCtl) onInv(m Msg) {
+	home := mem.HomeOfBlock(m.Block)
+	line, had := cc.c.Invalidate(m.Block)
+	if had && line.Dirty {
+		cc.f.Send(Msg{
+			Kind: MsgUPDATE, Src: cc.node, Dst: home,
+			Block: m.Block, Words: line.Words, Epoch: m.Epoch,
+		})
+	} else {
+		cc.f.Send(Msg{
+			Kind: MsgACK, Src: cc.node, Dst: home,
+			Block: m.Block, Epoch: m.Epoch,
+		})
+	}
+	cc.wakeWatchers(m.Block)
+	cc.f.check(m.Block, "invalidate")
+}
+
+// OutstandingTxns reports in-flight miss transactions (testing aid).
+func (cc *CacheCtl) OutstandingTxns() int { return len(cc.txns) }
+
+// HasTxn reports whether a miss transaction is outstanding for block b.
+// The software-only directory's home controller consults it: a local fill
+// issued while the remote-access bit was clear is not tracked anywhere, so
+// remote requests must retry until it lands and can be flushed.
+func (cc *CacheCtl) HasTxn(b mem.Block) bool {
+	_, ok := cc.txns[b]
+	return ok
+}

@@ -1,0 +1,79 @@
+package proto
+
+import (
+	"fmt"
+
+	"swex/internal/cache"
+	"swex/internal/mem"
+)
+
+// Checker validates coherence invariants while a simulation runs. It is a
+// verification harness, not part of the modeled machine: when enabled, the
+// fabric calls it after every event that changes a block's cached state,
+// and it scans the machine for violations of the two properties every
+// invalidation-based protocol must maintain:
+//
+//  1. Single writer: an Exclusive copy is the only copy.
+//  2. Identical readers: all Shared copies of a block hold the same words.
+//
+// Violations panic immediately with a full description — in a
+// deterministic simulator the panic point is exactly reproducible, which
+// is what makes the checker useful.
+type Checker struct {
+	f *Fabric
+	// Checks counts invariant evaluations.
+	Checks uint64
+}
+
+// newChecker attaches a checker to the fabric.
+func newChecker(f *Fabric) *Checker { return &Checker{f: f} }
+
+// verify scans every cache's view of block b.
+func (c *Checker) verify(b mem.Block, context string) {
+	c.Checks++
+	var exclusiveAt []mem.NodeID
+	var copies []mem.NodeID
+	var shared []cache.Line
+	for i := 0; i < c.f.Nodes(); i++ {
+		id := mem.NodeID(i)
+		l, ok := c.f.Cache(id).HasBlock(b)
+		if !ok {
+			continue
+		}
+		copies = append(copies, id)
+		switch l.State {
+		case cache.Exclusive:
+			exclusiveAt = append(exclusiveAt, id)
+		case cache.Shared:
+			shared = append(shared, l)
+		}
+	}
+	if len(exclusiveAt) > 1 {
+		panic(fmt.Sprintf("coherence violation (%s): block %d exclusive at nodes %v at cycle %d",
+			context, b, exclusiveAt, c.f.Engine.Now()))
+	}
+	if len(exclusiveAt) == 1 && len(copies) > 1 {
+		panic(fmt.Sprintf("coherence violation (%s): block %d exclusive at node %d but cached at %v at cycle %d",
+			context, b, exclusiveAt[0], copies, c.f.Engine.Now()))
+	}
+	for i := 1; i < len(shared); i++ {
+		if shared[i].Words != shared[0].Words {
+			panic(fmt.Sprintf("coherence violation (%s): block %d shared copies diverge (%v vs %v) at cycle %d",
+				context, b, shared[0].Words, shared[i].Words, c.f.Engine.Now()))
+		}
+	}
+}
+
+// EnableChecker turns on invariant checking for this fabric. Expensive
+// (a machine-wide scan per coherence event); intended for tests.
+func (f *Fabric) EnableChecker() *Checker {
+	f.checker = newChecker(f)
+	return f.checker
+}
+
+// check is the fabric-internal hook; a nil checker costs one branch.
+func (f *Fabric) check(b mem.Block, context string) {
+	if f.checker != nil {
+		f.checker.verify(b, context)
+	}
+}

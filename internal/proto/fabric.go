@@ -1,0 +1,123 @@
+package proto
+
+import (
+	"fmt"
+
+	"swex/internal/mem"
+	"swex/internal/mesh"
+	"swex/internal/sim"
+	"swex/internal/stats"
+)
+
+// Fabric wires the per-node controllers to the shared machine resources:
+// the event engine, the mesh network, the backing memory, the trap
+// scheduler, and the protocol extension software. One Fabric underlies one
+// simulated machine.
+type Fabric struct {
+	Engine *sim.Engine
+	Net    *mesh.Network
+	Mem    *mem.Memory
+	Timing Timing
+	Spec   Spec
+	Traps  TrapScheduler
+	Soft   Software
+	// MigratoryDetect enables the migratory-data adaptation (paper
+	// Section 7 "dynamic detection"): blocks observed to hop
+	// read-modify-write between nodes are served with Exclusive grants
+	// on reads, merging each hop's two transactions into one.
+	MigratoryDetect bool
+	// BatchReads enables the read-burst batching enhancement: read
+	// requests arriving while a read-overflow handler runs are drained
+	// by it at incremental cost instead of being busied. This is one of
+	// the Section 7 "dynamic detection" style enhancements: it speeds
+	// up widely-read, rarely-written data (WATER's molecule records) and
+	// slows down frequently-written shared words (task-queue heads), so
+	// it is off by default.
+	BatchReads bool
+	// Counters aggregates machine-wide protocol event counts.
+	Counters *stats.Counters
+	// Trace, when set, receives every protocol message and trap.
+	Trace Tracer
+
+	homes   []*HomeCtl
+	caches  []*CacheCtl
+	checker *Checker
+}
+
+// NewFabric builds the fabric and both controllers for every node.
+// Software may be nil only for the full-map protocol.
+func NewFabric(engine *sim.Engine, net *mesh.Network, memory *mem.Memory,
+	spec Spec, timing Timing, traps TrapScheduler, soft Software,
+	cacheCfg CacheConfig) (*Fabric, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := net.Nodes()
+	if memory.Nodes() != n {
+		return nil, fmt.Errorf("proto: memory has %d nodes, network %d", memory.Nodes(), n)
+	}
+	if soft == nil && spec.UsesSoftware() {
+		return nil, fmt.Errorf("proto: %s requires protocol extension software", spec.Name)
+	}
+	f := &Fabric{
+		Engine:   engine,
+		Net:      net,
+		Mem:      memory,
+		Timing:   timing,
+		Spec:     spec,
+		Traps:    traps,
+		Soft:     soft,
+		Counters: stats.NewCounters(),
+	}
+	f.homes = make([]*HomeCtl, n)
+	f.caches = make([]*CacheCtl, n)
+	for i := 0; i < n; i++ {
+		f.homes[i] = newHomeCtl(f, mem.NodeID(i))
+		f.caches[i] = newCacheCtl(f, mem.NodeID(i), cacheCfg)
+	}
+	return f, nil
+}
+
+// Nodes reports the machine size.
+func (f *Fabric) Nodes() int { return len(f.homes) }
+
+// Home returns node id's home-side controller.
+func (f *Fabric) Home(id mem.NodeID) *HomeCtl { return f.homes[id] }
+
+// Cache returns node id's cache-side controller.
+func (f *Fabric) Cache(id mem.NodeID) *CacheCtl { return f.caches[id] }
+
+// Send injects a protocol message into the network and delivers it to the
+// destination controller when it arrives.
+func (f *Fabric) Send(m Msg) { f.SendDelayed(m, 0) }
+
+// SendDelayed injects a message whose contents take extra cycles to
+// produce (a DRAM read feeding a data reply). The message claims its
+// place in the network queues immediately, so per-destination delivery
+// order always follows call order — the invariant the protocol's
+// data-before-invalidation races rely on.
+func (f *Fabric) SendDelayed(m Msg, extra sim.Cycle) {
+	f.Counters.Inc("msg." + m.Kind.String())
+	f.traceMsg(m)
+	f.Net.Send(int(m.Src), int(m.Dst), f.Timing.Flits(m.Kind), extra, func() {
+		if m.Kind.ToHome() {
+			f.homes[m.Dst].Deliver(m)
+		} else {
+			f.caches[m.Dst].Deliver(m)
+		}
+	})
+}
+
+// WorkerSetHist builds the Figure 6 histogram: for every block any home
+// directory tracked, the largest simultaneous worker set it reached.
+func (f *Fabric) WorkerSetHist() *stats.Hist {
+	h := stats.NewHist()
+	for _, hc := range f.homes {
+		hc.forEachEntry(func(b mem.Block, max int) {
+			if max > 0 {
+				h.Add(max)
+			}
+		})
+	}
+	return h
+}

@@ -1,0 +1,165 @@
+package proto
+
+import (
+	"swex/internal/mem"
+	"swex/internal/sim"
+)
+
+// Software is the protocol extension software the hardware invokes at trap
+// points. Implementations (internal/ext) maintain the software-extended
+// directory with real data structures — a hash table of extended entries
+// and a free-list allocator, as in the paper's flexible coherence
+// interface — and return the handler's cost in processor cycles, which the
+// home controller charges to the local processor before completing the
+// transition.
+//
+// The hardware half (HomeCtl) performs the actual state transitions and
+// message transmissions when the handler's cycles have elapsed; the
+// Software implementation decides what those cycles cost and remembers the
+// extended sharer sets.
+type Software interface {
+	// ReadOverflow extends the directory for block b with the drained
+	// hardware pointers and the requesting node, returning the handler
+	// cost. For the software-only directory every read lands here with
+	// an empty drain list.
+	ReadOverflow(b mem.Block, drained []mem.NodeID, requester mem.NodeID) sim.Cycle
+
+	// ReadBatched records one more reader while a read handler for b is
+	// already running: the handler drains the CMMU's queued requests
+	// before returning, so piggybacked reads pay only the incremental
+	// decode-and-store cost, not a fresh trap.
+	ReadBatched(b mem.Block, requester mem.NodeID) sim.Cycle
+
+	// SharersOf returns b's software-resident sharer list in ascending
+	// node order (empty if no extended entry exists).
+	SharersOf(b mem.Block) []mem.NodeID
+
+	// WriteFault frees b's extended entry and returns the cost of the
+	// write-fault handler, which locates the sharers and transmits invs
+	// invalidation messages on behalf of the requester.
+	WriteFault(b mem.Block, requester mem.NodeID, invs int) sim.Cycle
+
+	// AckTrap returns the cost of fielding one acknowledgment in
+	// software (the S_NB,ACK protocols); last marks the final
+	// acknowledgment, whose handler also transmits the data reply.
+	AckTrap(b mem.Block, last bool) sim.Cycle
+
+	// LastAckTrap returns the cost of the S_NB,LACK trap taken on the
+	// final acknowledgment to transmit the data reply.
+	LastAckTrap(b mem.Block) sim.Cycle
+}
+
+// TrapScheduler serializes protocol handler execution on a node's
+// processor. Handlers steal cycles from user code: the processor model
+// consults FreeAt before issuing user operations, so every cycle granted
+// to a handler is a cycle the application loses. Implementations may defer
+// handler starts to break livelock (the flexible interface's watchdog).
+type TrapScheduler interface {
+	// Schedule books the node's processor for a handler costing cost
+	// cycles, returning the cycle at which the handler completes.
+	Schedule(node mem.NodeID, cost sim.Cycle) (done sim.Cycle)
+	// FreeAt reports when the node's processor is free of handler (and
+	// user compute) reservations.
+	FreeAt(node mem.NodeID) sim.Cycle
+	// Reserve books the node's processor for user computation, returning
+	// the cycle at which it completes. User work and handlers share the
+	// processor, which is how handler storms starve applications.
+	Reserve(node mem.NodeID, cost sim.Cycle) (done sim.Cycle)
+}
+
+// NopSoftware is a Software that charges a fixed cost (zero by default)
+// and remembers sharers in a plain map. It stands in for protocol software
+// in hardware-focused unit tests; the real implementations live in
+// internal/ext.
+type NopSoftware struct {
+	sets map[mem.Block]map[mem.NodeID]bool
+	// FixedCost is charged for every handler invocation.
+	FixedCost sim.Cycle
+}
+
+// NewNopSoftware returns an empty zero-cost software implementation.
+func NewNopSoftware() *NopSoftware {
+	return &NopSoftware{sets: make(map[mem.Block]map[mem.NodeID]bool)}
+}
+
+// ReadOverflow implements Software at the fixed cost.
+func (s *NopSoftware) ReadOverflow(b mem.Block, drained []mem.NodeID, r mem.NodeID) sim.Cycle {
+	set := s.sets[b]
+	if set == nil {
+		set = make(map[mem.NodeID]bool)
+		s.sets[b] = set
+	}
+	for _, d := range drained {
+		set[d] = true
+	}
+	set[r] = true
+	return s.FixedCost
+}
+
+// ReadBatched implements Software at a quarter of the fixed cost.
+func (s *NopSoftware) ReadBatched(b mem.Block, r mem.NodeID) sim.Cycle {
+	s.ReadOverflow(b, nil, r)
+	return s.FixedCost / 4
+}
+
+// SharersOf implements Software.
+func (s *NopSoftware) SharersOf(b mem.Block) []mem.NodeID {
+	set := s.sets[b]
+	out := make([]mem.NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// WriteFault implements Software at the fixed cost.
+func (s *NopSoftware) WriteFault(b mem.Block, r mem.NodeID, invs int) sim.Cycle {
+	delete(s.sets, b)
+	return s.FixedCost
+}
+
+// AckTrap implements Software at the fixed cost.
+func (s *NopSoftware) AckTrap(mem.Block, bool) sim.Cycle { return s.FixedCost }
+
+// LastAckTrap implements Software at the fixed cost.
+func (s *NopSoftware) LastAckTrap(mem.Block) sim.Cycle { return s.FixedCost }
+
+// ImmediateTraps is a TrapScheduler backed by per-node servers with no
+// watchdog, suitable for tests and for the hand-tuned software
+// configuration (whose handlers never livelock in the measured workloads).
+type ImmediateTraps struct {
+	engine  *sim.Engine
+	servers []sim.Server
+}
+
+// NewImmediateTraps returns a scheduler for n nodes.
+func NewImmediateTraps(engine *sim.Engine, n int) *ImmediateTraps {
+	return &ImmediateTraps{engine: engine, servers: make([]sim.Server, n)}
+}
+
+// Schedule implements TrapScheduler.
+func (t *ImmediateTraps) Schedule(node mem.NodeID, cost sim.Cycle) sim.Cycle {
+	start := t.servers[node].Reserve(t.engine.Now(), cost)
+	return start + cost
+}
+
+// FreeAt implements TrapScheduler.
+func (t *ImmediateTraps) FreeAt(node mem.NodeID) sim.Cycle {
+	return t.servers[node].FreeAt()
+}
+
+// Reserve implements TrapScheduler.
+func (t *ImmediateTraps) Reserve(node mem.NodeID, cost sim.Cycle) sim.Cycle {
+	start := t.servers[node].Reserve(t.engine.Now(), cost)
+	return start + cost
+}
+
+// HandlerBusy reports total cycles node spent in handlers and user compute.
+func (t *ImmediateTraps) HandlerBusy(node mem.NodeID) sim.Cycle {
+	return t.servers[node].Busy
+}

@@ -1,0 +1,69 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-long", "22")
+	out := tb.String()
+	if !strings.Contains(out, "Title") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: "value" column starts at the same offset in all rows.
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "value") != strings.Index(row, "1") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableShortRowsPad(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("x")
+	if tb.Rows() != 1 {
+		t.Fatal("row not added")
+	}
+	if tb.Cell(0, 2) != "" {
+		t.Fatal("missing cells should be empty")
+	}
+	tb.AddRow("1", "2", "3", "4") // extra dropped
+	if tb.Cell(1, 2) != "3" {
+		t.Fatal("extra cells should be dropped, not shifted")
+	}
+}
+
+func TestFigureSeries(t *testing.T) {
+	f := NewFigure("Fig", "x", "ratio")
+	a := f.Line("A")
+	a.Add(1, 1.0)
+	a.Add(2, 1.5)
+	b := f.Line("B")
+	b.Add(1, 2.0)
+	if f.Line("A") != a {
+		t.Fatal("Line should return the existing series")
+	}
+	out := f.String()
+	if !strings.Contains(out, "1.500") || !strings.Contains(out, "2.000") {
+		t.Fatalf("missing data points:\n%s", out)
+	}
+	if !strings.Contains(out, "ratio") {
+		t.Fatal("missing y label")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(4) != "4" {
+		t.Fatalf("trimFloat(4) = %q", trimFloat(4))
+	}
+	if trimFloat(2.5) != "2.5" {
+		t.Fatalf("trimFloat(2.5) = %q", trimFloat(2.5))
+	}
+}

@@ -1,0 +1,295 @@
+package shm
+
+import (
+	"testing"
+
+	"swex/internal/machine"
+	"swex/internal/mem"
+	"swex/internal/proc"
+	"swex/internal/proto"
+)
+
+func run(t *testing.T, nodes int, spec proto.Spec, setup func(m *machine.Machine) func(*proc.Env)) *machine.Machine {
+	t.Helper()
+	m := machine.MustNew(machine.DefaultConfig(nodes, spec))
+	program := setup(m)
+	if _, err := m.Run(program, 200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// readWord reads a word on a finished machine for verification.
+func readWord(t *testing.T, m *machine.Machine, a mem.Addr) uint64 {
+	t.Helper()
+	var got uint64
+	done := false
+	m.Fabric.Cache(0).Access(a, proto.Op{Done: func(v uint64) { got = v; done = true }})
+	if !m.Engine.RunUntil(func() bool { return done }, 10_000_000) {
+		t.Fatal("verification read did not complete")
+	}
+	return got
+}
+
+func TestBarrierNoEarlyPass(t *testing.T) {
+	// Every node increments a pre-barrier counter, crosses the barrier,
+	// and then verifies the counter shows all arrivals.
+	const P = 8
+	var violations int
+	m := run(t, P, proto.FullMap(), func(m *machine.Machine) func(*proc.Env) {
+		bar := NewBarrier(m.Mem, 0, P)
+		pre := m.Mem.AllocOn(1, 1)
+		return func(env *proc.Env) {
+			env.FetchAdd(pre, 1)
+			bar.Wait(env)
+			if env.Read(pre) != P {
+				violations++
+			}
+		}
+	})
+	if violations != 0 {
+		t.Fatalf("%d nodes passed the barrier before all arrived", violations)
+	}
+	_ = m
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const P = 4
+	const rounds = 5
+	var violations int
+	run(t, P, proto.LimitLESS(2), func(m *machine.Machine) func(*proc.Env) {
+		bar := NewBarrier(m.Mem, 0, P)
+		phase := m.Mem.AllocOn(1, rounds)
+		return func(env *proc.Env) {
+			for r := 0; r < rounds; r++ {
+				env.FetchAdd(phase+mem.Addr(r), 1)
+				bar.Wait(env)
+				if env.Read(phase+mem.Addr(r)) != P {
+					violations++
+				}
+				bar.Wait(env)
+			}
+		}
+	})
+	if violations != 0 {
+		t.Fatalf("%d barrier-phase violations across rounds", violations)
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	// A non-atomic read-modify-write sequence under the lock must not
+	// lose updates.
+	const P = 8
+	const iters = 10
+	var mm *machine.Machine
+	var cell mem.Addr
+	mm = run(t, P, proto.FullMap(), func(m *machine.Machine) func(*proc.Env) {
+		lock := NewLock(m.Mem, 0)
+		cell = m.Mem.AllocOn(1, 1)
+		return func(env *proc.Env) {
+			for i := 0; i < iters; i++ {
+				lock.Acquire(env)
+				v := env.Read(cell)
+				env.Compute(3) // widen the race window
+				env.Write(cell, v+1)
+				lock.Release(env)
+			}
+		}
+	})
+	if got := readWord(t, mm, cell); got != P*iters {
+		t.Fatalf("locked counter = %d, want %d (lost updates)", got, P*iters)
+	}
+}
+
+func TestLockMutualExclusionSoftwareOnly(t *testing.T) {
+	const P = 4
+	const iters = 5
+	var mm *machine.Machine
+	var cell mem.Addr
+	mm = run(t, P, proto.SoftwareOnly(), func(m *machine.Machine) func(*proc.Env) {
+		lock := NewLock(m.Mem, 0)
+		cell = m.Mem.AllocOn(1, 1)
+		return func(env *proc.Env) {
+			for i := 0; i < iters; i++ {
+				lock.Acquire(env)
+				v := env.Read(cell)
+				env.Write(cell, v+1)
+				lock.Release(env)
+			}
+		}
+	})
+	if got := readWord(t, mm, cell); got != P*iters {
+		t.Fatalf("locked counter = %d, want %d", got, P*iters)
+	}
+}
+
+func TestReducer(t *testing.T) {
+	const P = 8
+	var mm *machine.Machine
+	var red *Reducer
+	mm = run(t, P, proto.LimitLESS(5), func(m *machine.Machine) func(*proc.Env) {
+		red = NewReducer(m.Mem, 0)
+		return func(env *proc.Env) {
+			red.Add(env, uint64(env.ID())+1)
+		}
+	})
+	// sum 1..8 = 36
+	if got := readWord(t, mm, red.word); got != 36 {
+		t.Fatalf("reduction = %d, want 36", got)
+	}
+}
+
+func TestTaskQueuePushPop(t *testing.T) {
+	const P = 4
+	var mm *machine.Machine
+	var sum mem.Addr
+	mm = run(t, P, proto.FullMap(), func(m *machine.Machine) func(*proc.Env) {
+		q := NewTaskQueue(m.Mem, P, 16)
+		sum = m.Mem.AllocOn(0, 1)
+		return func(env *proc.Env) {
+			id := env.ID()
+			// Each node pushes 5 tasks locally, then drains its queue.
+			for i := 0; i < 5; i++ {
+				if !q.Push(env, id, uint64(i)+1) {
+					t.Error("push failed on empty queue")
+				}
+			}
+			for {
+				v, ok := q.Pop(env, id)
+				if !ok {
+					break
+				}
+				env.FetchAdd(sum, v)
+			}
+		}
+	})
+	// Each node contributes 1+2+3+4+5 = 15.
+	if got := readWord(t, mm, sum); got != 15*P {
+		t.Fatalf("task sum = %d, want %d", got, 15*P)
+	}
+}
+
+func TestTaskQueueStealing(t *testing.T) {
+	const P = 4
+	var mm *machine.Machine
+	var sum mem.Addr
+	mm = run(t, P, proto.LimitLESS(2), func(m *machine.Machine) func(*proc.Env) {
+		q := NewTaskQueue(m.Mem, P, 64)
+		term := NewTermination(m.Mem, 0)
+		sum = m.Mem.AllocOn(1, 1)
+		return func(env *proc.Env) {
+			id := env.ID()
+			if id == 0 {
+				// Node 0 produces all the work.
+				term.Register(env, 20)
+				for i := 0; i < 20; i++ {
+					q.Push(env, 0, uint64(i)+1)
+				}
+			}
+			for !term.Quiesced(env) {
+				v, ok := q.Pop(env, id)
+				if !ok {
+					v, ok = q.Steal(env, id)
+				}
+				if !ok {
+					env.Compute(20)
+					continue
+				}
+				env.FetchAdd(sum, v)
+				term.Complete(env)
+			}
+		}
+	})
+	// sum 1..20 = 210
+	if got := readWord(t, mm, sum); got != 210 {
+		t.Fatalf("stolen task sum = %d, want 210", got)
+	}
+}
+
+func TestTaskQueueFullRejects(t *testing.T) {
+	run(t, 2, proto.FullMap(), func(m *machine.Machine) func(*proc.Env) {
+		q := NewTaskQueue(m.Mem, 2, 2)
+		return func(env *proc.Env) {
+			if env.ID() != 0 {
+				return
+			}
+			if !q.Push(env, 0, 1) || !q.Push(env, 0, 2) {
+				t.Error("pushes below capacity failed")
+			}
+			if q.Push(env, 0, 3) {
+				t.Error("push beyond capacity succeeded")
+			}
+			if _, ok := q.Pop(env, 1); ok {
+				t.Error("pop from empty queue succeeded")
+			}
+		}
+	})
+}
+
+func TestTerminationCounts(t *testing.T) {
+	const P = 4
+	run(t, P, proto.FullMap(), func(m *machine.Machine) func(*proc.Env) {
+		term := NewTermination(m.Mem, 0)
+		bar := NewBarrier(m.Mem, 0, P)
+		return func(env *proc.Env) {
+			term.Register(env, 1)
+			bar.Wait(env)
+			last := term.Complete(env)
+			bar.Wait(env)
+			if !term.Quiesced(env) {
+				t.Error("termination not quiesced after all completions")
+			}
+			_ = last
+		}
+	})
+}
+
+func TestFIFOLockMutualExclusion(t *testing.T) {
+	const P = 8
+	const iters = 5
+	var mm *machine.Machine
+	var cell mem.Addr
+	mm = run(t, P, proto.LimitLESS(2), func(m *machine.Machine) func(*proc.Env) {
+		lock := NewFIFOLock(m.Mem, 0)
+		cell = m.Mem.AllocOn(1, 1)
+		return func(env *proc.Env) {
+			for i := 0; i < iters; i++ {
+				lock.Acquire(env)
+				v := env.Read(cell)
+				env.Compute(3)
+				env.Write(cell, v+1)
+				lock.Release(env)
+			}
+		}
+	})
+	if got := readWord(t, mm, cell); got != P*iters {
+		t.Fatalf("FIFO-locked counter = %d, want %d", got, P*iters)
+	}
+}
+
+func TestFIFOLockGrantsInTicketOrder(t *testing.T) {
+	// Record the acquisition order: it must be a valid FIFO service
+	// order — every node's acquisitions happen in its own ticket order,
+	// and the global order is exactly 0..N-1 of the service counter.
+	const P = 4
+	var order []uint64
+	run(t, P, proto.FullMap(), func(m *machine.Machine) func(*proc.Env) {
+		lock := NewFIFOLock(m.Mem, 0)
+		return func(env *proc.Env) {
+			for i := 0; i < 3; i++ {
+				lock.Acquire(env)
+				// Inside the lock: single-threaded by mutual exclusion.
+				order = append(order, env.Read(lock.owner))
+				lock.Release(env)
+			}
+		}
+	})
+	if len(order) != P*3 {
+		t.Fatalf("%d acquisitions, want %d", len(order), P*3)
+	}
+	for i, v := range order {
+		if v != uint64(i) {
+			t.Fatalf("acquisition %d served ticket %d; FIFO order violated: %v", i, v, order)
+		}
+	}
+}

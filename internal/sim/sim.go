@@ -1,0 +1,173 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that underlies the machine model. It is the analog of the NWO simulator's
+// core scheduler: a cycle-accurate event queue with a total ordering that
+// makes every simulation run bit-for-bit reproducible.
+//
+// Determinism is the load-bearing property. The paper's methodology
+// (Section 3) depends on NWO's "deterministic behavior and non-intrusive
+// observation functions"; all controlled experiments in this repository
+// assume that re-running a configuration yields the identical cycle count.
+// The engine guarantees this by ordering events first by cycle, then by a
+// monotonically increasing sequence number assigned at scheduling time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in processor clock cycles.
+// Alewife's clock runs at 33 MHz, so 33e6 cycles correspond to one second
+// of simulated execution.
+type Cycle uint64
+
+// CyclesPerSecond is the Alewife node clock rate (33 MHz Sparcle).
+const CyclesPerSecond = 33_000_000
+
+// Seconds converts a cycle count to simulated seconds at the Alewife clock.
+func (c Cycle) Seconds() float64 { return float64(c) / CyclesPerSecond }
+
+// Event is a callback scheduled to run at a particular cycle.
+type Event func()
+
+type scheduledEvent struct {
+	at    Cycle
+	seq   uint64
+	fire  Event
+	index int // heap index; -1 once popped or cancelled
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *scheduledEvent }
+
+type eventHeap []*scheduledEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*scheduledEvent)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event scheduler with deterministic tie-breaking.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewEngine returns an empty engine positioned at cycle zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Fired reports how many events have executed since construction.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at the absolute cycle at. Scheduling in the past
+// panics: it indicates a protocol bug, and silently reordering time would
+// destroy the determinism guarantee.
+func (e *Engine) At(at Cycle, fn Event) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at cycle %d, now %d", at, e.now))
+	}
+	ev := &scheduledEvent{at: at, seq: e.seq, fire: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycle, fn Event) EventID {
+	return e.At(e.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an event that already fired
+// (or was already cancelled) is a no-op and returns false.
+func (e *Engine) Cancel(id EventID) bool {
+	if id.ev == nil || id.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.events, id.ev.index)
+	id.ev.index = -1
+	return true
+}
+
+// Step fires the next event, advancing the clock to its cycle. It returns
+// false if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*scheduledEvent)
+	e.now = ev.at
+	e.fired++
+	ev.fire()
+	return true
+}
+
+// Run fires events until the queue drains or the clock passes limit.
+// A limit of zero means no limit. It returns the cycle at which the engine
+// stopped and whether the queue drained (as opposed to hitting the limit).
+func (e *Engine) Run(limit Cycle) (Cycle, bool) {
+	for len(e.events) > 0 {
+		if limit != 0 && e.events[0].at > limit {
+			e.now = limit
+			return e.now, false
+		}
+		e.Step()
+	}
+	return e.now, true
+}
+
+// RunUntil fires events while cond returns false, stopping as soon as cond
+// is true (checked after each event) or the queue drains or the hard cycle
+// limit is exceeded. It returns true if cond was satisfied.
+func (e *Engine) RunUntil(cond func() bool, limit Cycle) bool {
+	if cond() {
+		return true
+	}
+	for len(e.events) > 0 {
+		if limit != 0 && e.events[0].at > limit {
+			e.now = limit
+			return false
+		}
+		e.Step()
+		if cond() {
+			return true
+		}
+	}
+	return false
+}

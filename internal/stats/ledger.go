@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Activity identifies one of the cycle-consuming activities inside a
+// software protocol handler. These are exactly the rows of the paper's
+// Table 2, which accounts for every cycle spent in a median read and write
+// request for both the flexible (C) and hand-tuned (assembly) handlers.
+type Activity int
+
+const (
+	ActTrapDispatch  Activity = iota // hardware exception entry sequence
+	ActMsgDispatch                   // system message dispatch
+	ActProtoDispatch                 // protocol-specific dispatch (C only)
+	ActDecodeModify                  // decode and modify hardware directory
+	ActSaveState                     // save state for function calls (C only)
+	ActMemMgmt                       // memory management (free lists)
+	ActHashAdmin                     // hash table administration (C only)
+	ActStorePointers                 // store pointers into extended directory
+	ActInvalidate                    // invalidation lookup and transmit
+	ActNonAlewife                    // support for non-Alewife protocols (C only)
+	ActTrapReturn                    // return from trap
+	NumActivities
+)
+
+var activityNames = [NumActivities]string{
+	"trap dispatch",
+	"system message dispatch",
+	"protocol-specific dispatch",
+	"decode and modify hardware directory",
+	"save state for function calls",
+	"memory management",
+	"hash table administration",
+	"store pointers into extended directory",
+	"invalidation lookup and transmit",
+	"support for non-Alewife protocols",
+	"trap return",
+}
+
+// String returns the paper's row label for the activity.
+func (a Activity) String() string {
+	if a < 0 || a >= NumActivities {
+		return fmt.Sprintf("activity(%d)", int(a))
+	}
+	return activityNames[a]
+}
+
+// Breakdown is a per-activity cycle account for a single handler
+// invocation: one column cell group of Table 2.
+type Breakdown [NumActivities]uint64
+
+// Total sums the activity cycles.
+func (b *Breakdown) Total() uint64 {
+	var t uint64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// Add accumulates another breakdown into b.
+func (b *Breakdown) Add(o *Breakdown) {
+	for i, v := range o {
+		b[i] += v
+	}
+}
+
+// RequestKind distinguishes the software-handled request classes the paper
+// measures separately: read requests (directory overflow on a read) and
+// write requests (invalidation of an overflowed worker set).
+type RequestKind int
+
+const (
+	ReadRequest RequestKind = iota
+	WriteRequest
+	AckRequest   // acknowledgment handled in software (ACK / LACK variants)
+	LocalRequest // intra-node access trapped by the software-only directory
+	NumRequestKinds
+)
+
+func (k RequestKind) String() string {
+	switch k {
+	case ReadRequest:
+		return "read"
+	case WriteRequest:
+		return "write"
+	case AckRequest:
+		return "ack"
+	case LocalRequest:
+		return "local"
+	}
+	return fmt.Sprintf("request(%d)", int(k))
+}
+
+// HandlerRecord captures one software handler invocation: its kind, its
+// total latency, and its per-activity breakdown. The sharers count records
+// how many readers the affected block had, so Table 1 can be sliced by
+// readers-per-block.
+type HandlerRecord struct {
+	Kind      RequestKind
+	Cycles    uint64
+	Sharers   int
+	Breakdown Breakdown
+}
+
+// Ledger collects handler records for latency tables. It is the
+// measurement instrument behind Tables 1 and 2.
+type Ledger struct {
+	records []HandlerRecord
+}
+
+// Record appends one handler invocation.
+func (l *Ledger) Record(r HandlerRecord) { l.records = append(l.records, r) }
+
+// N reports the number of recorded invocations.
+func (l *Ledger) N() int { return len(l.records) }
+
+// Records returns a copy of all records.
+func (l *Ledger) Records() []HandlerRecord {
+	return append([]HandlerRecord(nil), l.records...)
+}
+
+// Mean returns the average latency in cycles of records matching kind,
+// restricted to those with the given sharers count when sharers >= 0.
+func (l *Ledger) Mean(kind RequestKind, sharers int) float64 {
+	var sum uint64
+	var n int
+	for _, r := range l.records {
+		if r.Kind != kind {
+			continue
+		}
+		if sharers >= 0 && r.Sharers != sharers {
+			continue
+		}
+		sum += r.Cycles
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Median returns the record whose total latency is the median among records
+// matching kind (and sharers, when sharers >= 0), mirroring the paper's
+// method for Table 2 ("we choose a median request of each type"). The
+// boolean result is false when no records match.
+func (l *Ledger) Median(kind RequestKind, sharers int) (HandlerRecord, bool) {
+	var matching []HandlerRecord
+	for _, r := range l.records {
+		if r.Kind != kind {
+			continue
+		}
+		if sharers >= 0 && r.Sharers != sharers {
+			continue
+		}
+		matching = append(matching, r)
+	}
+	if len(matching) == 0 {
+		return HandlerRecord{}, false
+	}
+	sort.SliceStable(matching, func(i, j int) bool {
+		return matching[i].Cycles < matching[j].Cycles
+	})
+	return matching[len(matching)/2], true
+}
+
+// Count reports how many records match kind.
+func (l *Ledger) Count(kind RequestKind) int {
+	n := 0
+	for _, r := range l.records {
+		if r.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset discards all records.
+func (l *Ledger) Reset() { l.records = l.records[:0] }
+
+// FormatBreakdown renders read and write breakdowns side by side in the
+// layout of Table 2.
+func FormatBreakdown(read, write *Breakdown) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-42s %10s %10s\n", "activity", "read", "write")
+	for a := Activity(0); a < NumActivities; a++ {
+		r, w := read[a], write[a]
+		rs, ws := "N/A", "N/A"
+		if r > 0 {
+			rs = fmt.Sprintf("%d", r)
+		}
+		if w > 0 {
+			ws = fmt.Sprintf("%d", w)
+		}
+		fmt.Fprintf(&b, "%-42s %10s %10s\n", a.String(), rs, ws)
+	}
+	fmt.Fprintf(&b, "%-42s %10d %10d\n", "total (median latency)", read.Total(), write.Total())
+	return b.String()
+}
+
+// MarshalJSON renders a breakdown as an {"activity": cycles} object,
+// omitting zero rows (the table's N/A cells).
+func (b Breakdown) MarshalJSON() ([]byte, error) {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	for a := Activity(0); a < NumActivities; a++ {
+		if b[a] == 0 {
+			continue
+		}
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&sb, "%q:%d", a.String(), b[a])
+	}
+	if !first {
+		sb.WriteByte(',')
+	}
+	fmt.Fprintf(&sb, "%q:%d", "total", b.Total())
+	sb.WriteByte('}')
+	return []byte(sb.String()), nil
+}

@@ -1,0 +1,261 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Median() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestSampleSummary(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d, want 5", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v, want 3", s.Mean())
+	}
+	if s.Median() != 3 {
+		t.Fatalf("Median = %v, want 3", s.Median())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v, want 1/5", s.Min(), s.Max())
+	}
+	if s.Sum() != 15 {
+		t.Fatalf("Sum = %v, want 15", s.Sum())
+	}
+}
+
+func TestSampleMedianEven(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	if s.Median() != 2.5 {
+		t.Fatalf("Median of 1..4 = %v, want 2.5", s.Median())
+	}
+}
+
+func TestSampleReset(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	s.Reset()
+	if s.N() != 0 || s.Sum() != 0 {
+		t.Fatal("Reset did not clear sample")
+	}
+}
+
+func TestSampleValuesIsCopy(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	v := s.Values()
+	v[0] = 99
+	if s.Values()[0] != 1 {
+		t.Fatal("Values returned a view into internal storage")
+	}
+}
+
+// Property: Min <= Median <= Max and Mean lies within [Min, Max].
+func TestSamplePropertyBounds(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range vals {
+			s.Add(float64(v))
+		}
+		return s.Min() <= s.Median() && s.Median() <= s.Max() &&
+			s.Min() <= s.Mean() && s.Mean() <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHist(t *testing.T) {
+	h := NewHist()
+	h.Add(1)
+	h.Add(1)
+	h.AddN(64, 5)
+	if h.Count(1) != 2 {
+		t.Fatalf("Count(1) = %d, want 2", h.Count(1))
+	}
+	if h.Count(64) != 5 {
+		t.Fatalf("Count(64) = %d, want 5", h.Count(64))
+	}
+	if h.Count(3) != 0 {
+		t.Fatalf("Count(3) = %d, want 0", h.Count(3))
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", h.Total())
+	}
+	if h.MaxBucket() != 64 {
+		t.Fatalf("MaxBucket = %d, want 64", h.MaxBucket())
+	}
+	b := h.Buckets()
+	if len(b) != 2 || b[0] != 1 || b[1] != 64 {
+		t.Fatalf("Buckets = %v, want [1 64]", b)
+	}
+	if !strings.Contains(h.String(), "64: 5") {
+		t.Fatalf("String() missing bucket line:\n%s", h.String())
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Inc("traps")
+	c.Inc("traps")
+	c.Addc("messages", 10)
+	if c.Get("traps") != 2 {
+		t.Fatalf("traps = %d, want 2", c.Get("traps"))
+	}
+	if c.Get("messages") != 10 {
+		t.Fatalf("messages = %d, want 10", c.Get("messages"))
+	}
+	if c.Get("absent") != 0 {
+		t.Fatal("absent counter should read 0")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "messages" || names[1] != "traps" {
+		t.Fatalf("Names = %v, want sorted [messages traps]", names)
+	}
+	if !strings.Contains(c.String(), "traps") {
+		t.Fatal("String() missing counter")
+	}
+}
+
+func TestActivityNames(t *testing.T) {
+	if ActTrapDispatch.String() != "trap dispatch" {
+		t.Fatalf("ActTrapDispatch = %q", ActTrapDispatch.String())
+	}
+	if ActInvalidate.String() != "invalidation lookup and transmit" {
+		t.Fatalf("ActInvalidate = %q", ActInvalidate.String())
+	}
+	if Activity(99).String() != "activity(99)" {
+		t.Fatalf("out-of-range activity = %q", Activity(99).String())
+	}
+	for a := Activity(0); a < NumActivities; a++ {
+		if a.String() == "" {
+			t.Fatalf("activity %d has empty name", a)
+		}
+	}
+}
+
+func TestBreakdownTotalAndAdd(t *testing.T) {
+	var b Breakdown
+	b[ActTrapDispatch] = 11
+	b[ActTrapReturn] = 14
+	if b.Total() != 25 {
+		t.Fatalf("Total = %d, want 25", b.Total())
+	}
+	var c Breakdown
+	c[ActTrapDispatch] = 1
+	b.Add(&c)
+	if b[ActTrapDispatch] != 12 {
+		t.Fatalf("Add: got %d, want 12", b[ActTrapDispatch])
+	}
+}
+
+func TestLedgerMeanBySharers(t *testing.T) {
+	var l Ledger
+	l.Record(HandlerRecord{Kind: ReadRequest, Cycles: 400, Sharers: 8})
+	l.Record(HandlerRecord{Kind: ReadRequest, Cycles: 440, Sharers: 8})
+	l.Record(HandlerRecord{Kind: ReadRequest, Cycles: 300, Sharers: 12})
+	l.Record(HandlerRecord{Kind: WriteRequest, Cycles: 700, Sharers: 8})
+	if got := l.Mean(ReadRequest, 8); got != 420 {
+		t.Fatalf("Mean(read,8) = %v, want 420", got)
+	}
+	if got := l.Mean(ReadRequest, -1); got != 380 {
+		t.Fatalf("Mean(read,any) = %v, want 380", got)
+	}
+	if got := l.Mean(WriteRequest, 8); got != 700 {
+		t.Fatalf("Mean(write,8) = %v, want 700", got)
+	}
+	if got := l.Mean(AckRequest, -1); got != 0 {
+		t.Fatalf("Mean(ack) = %v, want 0", got)
+	}
+}
+
+func TestLedgerMedian(t *testing.T) {
+	var l Ledger
+	for _, c := range []uint64{100, 500, 300} {
+		l.Record(HandlerRecord{Kind: WriteRequest, Cycles: c, Sharers: 8})
+	}
+	r, ok := l.Median(WriteRequest, 8)
+	if !ok {
+		t.Fatal("Median found no records")
+	}
+	if r.Cycles != 300 {
+		t.Fatalf("median cycles = %d, want 300", r.Cycles)
+	}
+	if _, ok := l.Median(ReadRequest, -1); ok {
+		t.Fatal("Median reported success with no matching records")
+	}
+}
+
+func TestLedgerCountAndReset(t *testing.T) {
+	var l Ledger
+	l.Record(HandlerRecord{Kind: ReadRequest})
+	l.Record(HandlerRecord{Kind: ReadRequest})
+	l.Record(HandlerRecord{Kind: AckRequest})
+	if l.Count(ReadRequest) != 2 || l.Count(AckRequest) != 1 || l.N() != 3 {
+		t.Fatal("Count/N mismatch")
+	}
+	l.Reset()
+	if l.N() != 0 {
+		t.Fatal("Reset did not clear ledger")
+	}
+}
+
+func TestRequestKindString(t *testing.T) {
+	cases := map[RequestKind]string{
+		ReadRequest:  "read",
+		WriteRequest: "write",
+		AckRequest:   "ack",
+		LocalRequest: "local",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestFormatBreakdown(t *testing.T) {
+	var read, write Breakdown
+	read[ActTrapDispatch] = 11
+	write[ActInvalidate] = 419
+	out := FormatBreakdown(&read, &write)
+	if !strings.Contains(out, "trap dispatch") {
+		t.Fatal("missing trap dispatch row")
+	}
+	if !strings.Contains(out, "N/A") {
+		t.Fatal("zero cells should render N/A, matching the paper's table")
+	}
+	if !strings.Contains(out, "total (median latency)") {
+		t.Fatal("missing total row")
+	}
+}
+
+func TestHistMarshalJSON(t *testing.T) {
+	h := NewHist()
+	h.Add(1)
+	h.AddN(64, 5)
+	out, err := h.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `{"1":1,"64":5}` {
+		t.Fatalf("JSON = %s", out)
+	}
+}
