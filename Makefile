@@ -1,0 +1,31 @@
+# Verification entry points. `make check` is what CI should run.
+
+GO ?= go
+
+.PHONY: all build test lint vet race check
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint runs the repository's own static-analysis suite (cmd/swexlint):
+# determinism, exhaustive-enum, cycle-math, and panic-hygiene rules over
+# every non-test package. See the "Determinism contract" in DESIGN.md.
+lint:
+	$(GO) run ./cmd/swexlint ./...
+
+vet:
+	$(GO) vet ./...
+
+# race exercises the only packages that touch goroutines (the engine and
+# the network model) under the race detector. The simulation core is
+# single-threaded by contract, so the interesting schedules are in the
+# lockstep handoff.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/mesh/...
+
+check: vet lint test race

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustiveEnum checks that every switch over a typed-const enum — a
+// named integer type with package-level constants, like proto.MsgKind,
+// proto.AckMode, dir.State, or cache.LineState — either covers every
+// declared constant or carries an explicit default clause that panics.
+//
+// The protocol engines are state machines over these enums; a switch that
+// silently falls through on an unlisted state is exactly the kind of bug
+// that corrupts a directory entry without tripping the coherence checker
+// until thousands of cycles later. Forcing the choice — enumerate, or
+// panic loudly — keeps every transition accounted for.
+//
+// Sentinel constants whose names begin with "num", "max", or "count"
+// (numMsgKinds, NumActivities, ...) bound the enum rather than belong to
+// it and are ignored.
+type ExhaustiveEnum struct{}
+
+// Name implements Analyzer.
+func (ExhaustiveEnum) Name() string { return "exhaustive-enum" }
+
+// Check implements Analyzer.
+func (ExhaustiveEnum) Check(cfg *Config, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			enum := enumTypeOf(cfg, pkg, sw.Tag)
+			if enum == nil {
+				return true
+			}
+			members := enumMembers(enum)
+			if len(members) < 2 {
+				return true
+			}
+			covered := make(map[int64]bool)
+			verifiable := true
+			hasDefault := false
+			defaultPanics := false
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					defaultPanics = containsPanic(cc.Body)
+					continue
+				}
+				for _, e := range cc.List {
+					tv, ok := pkg.Info.Types[e]
+					if !ok || tv.Value == nil {
+						// Non-constant case expression: the value set
+						// cannot be decided statically.
+						verifiable = false
+						continue
+					}
+					if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+						covered[v] = true
+					}
+				}
+			}
+			if !verifiable {
+				return true
+			}
+			var missing []string
+			for _, m := range members {
+				if !covered[m.value] {
+					missing = append(missing, m.name)
+				}
+			}
+			if len(missing) == 0 {
+				return true
+			}
+			if hasDefault && defaultPanics {
+				return true
+			}
+			sort.Strings(missing)
+			why := "and has no default clause"
+			if hasDefault {
+				why = "and its default clause does not panic"
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(sw.Pos()),
+				Analyzer: "exhaustive-enum",
+				Message: fmt.Sprintf("switch over %s misses %s %s; cover every constant or panic in default",
+					enum.Obj().Name(), strings.Join(missing, ", "), why),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// enumTypeOf returns the named enum type of a switch tag, or nil when the
+// tag is not a module-declared integer enum.
+func enumTypeOf(cfg *Config, pkg *Package, tag ast.Expr) *types.Named {
+	t := exprType(pkg, tag)
+	if t == nil {
+		return nil
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || !cfg.IsEnumModule(obj.Pkg().Path()) {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 || basic.Info()&types.IsBoolean != 0 {
+		return nil
+	}
+	return named
+}
+
+type enumMember struct {
+	name  string
+	value int64
+}
+
+// enumMembers lists the non-sentinel constants of the enum's declaring
+// package, in value order.
+func enumMembers(enum *types.Named) []enumMember {
+	scope := enum.Obj().Pkg().Scope()
+	var out []enumMember
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), enum) || isSentinelName(name) {
+			continue
+		}
+		if v, exact := constant.Int64Val(constant.ToInt(c.Val())); exact {
+			out = append(out, enumMember{name: name, value: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	return out
+}
+
+// isSentinelName matches bound markers like numMsgKinds or NumActivities.
+func isSentinelName(name string) bool {
+	lower := strings.ToLower(name)
+	return name == "_" ||
+		strings.HasPrefix(lower, "num") ||
+		strings.HasPrefix(lower, "max") ||
+		strings.HasPrefix(lower, "count")
+}
+
+// containsPanic reports whether the statements call panic anywhere.
+func containsPanic(stmts []ast.Stmt) bool {
+	found := false
+	for _, st := range stmts {
+		ast.Inspect(st, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					found = true
+					return false
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}

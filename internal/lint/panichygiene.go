@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// PanicHygiene governs how the simulation core is allowed to fail. Panics
+// are reserved for checker/invariant paths — a coherence violation, a
+// protocol message no state expects, a construction-time configuration
+// error — where the deterministic engine guarantees the panic point is
+// exactly reproducible. For that guarantee to be useful, the message must
+// be diagnosable from the report alone:
+//
+//   - the argument must be a constant string, or fmt.Sprintf with a
+//     constant format (no panic(err), no panic(v): a value with no
+//     context cannot be traced to its invariant);
+//   - the constant text must begin with the package name and a colon
+//     ("proto: ", "sim: "), so a panic deep in a 10^8-cycle run names its
+//     subsystem immediately;
+//   - recover is forbidden in the core outright: swallowing an invariant
+//     violation converts a reproducible panic point into silent state
+//     corruption.
+type PanicHygiene struct{}
+
+// Name implements Analyzer.
+func (PanicHygiene) Name() string { return "panic-hygiene" }
+
+// Check implements Analyzer.
+func (PanicHygiene) Check(cfg *Config, pkg *Package) []Diagnostic {
+	if !cfg.IsCore(pkg.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	diag := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(n.Pos()),
+			Analyzer: "panic-hygiene",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	prefix := pkg.Types.Name() + ": "
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || !isBuiltin(pkg, id) {
+				return true
+			}
+			switch id.Name {
+			case "recover":
+				diag(call, "recover in the simulation core: swallowing an invariant violation turns a reproducible panic point into silent corruption")
+			case "panic":
+				if len(call.Args) != 1 {
+					return true
+				}
+				msg, isConst := panicMessage(pkg, call.Args[0])
+				switch {
+				case !isConst:
+					diag(call, "panic argument must be a constant string or fmt.Sprintf with a constant format, so the invariant is diagnosable from the message")
+				case !strings.HasPrefix(msg, prefix):
+					diag(call, "panic message must start with %q to name the failing subsystem", prefix)
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// panicMessage extracts the constant text of a panic argument: the string
+// itself, or the format string of a fmt.Sprintf call.
+func panicMessage(pkg *Package, arg ast.Expr) (msg string, isConst bool) {
+	if s, ok := constString(pkg, arg); ok {
+		return s, true
+	}
+	call, ok := arg.(*ast.CallExpr)
+	if !ok || len(call.Args) < 1 {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	recv, ok := sel.X.(*ast.Ident)
+	if !ok || recv.Name != "fmt" || sel.Sel.Name != "Sprintf" {
+		return "", false
+	}
+	return constString(pkg, call.Args[0])
+}
+
+// constString resolves an expression to a compile-time string value.
+func constString(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,38 @@
+// Package cyclemath exercises the cycle-math analyzer: floating point
+// must not flow into cycle accounting, while reporting helpers that
+// return floats may convert cycles out.
+package cyclemath
+
+import "swex/internal/sim"
+
+// badFromFloat converts a float into the cycle type: always flagged.
+func badFromFloat(f float64) sim.Cycle {
+	return sim.Cycle(f) // want "cycle accounting must stay integral"
+}
+
+// badToFloat converts a cycle to float inside a non-reporting function.
+func badToFloat(c sim.Cycle) uint64 {
+	scaled := float64(c) * 1.5 // want "latency accounting must stay integral"
+	return uint64(scaled)
+}
+
+// Utilization returns a float, so its cycle-to-float conversions are the
+// legitimate reporting case.
+func Utilization(busy, total sim.Cycle) float64 {
+	return float64(busy) / float64(total)
+}
+
+// reportingLit shows a function literal carrying its own float-returning
+// signature: clean inside, even though the enclosing function is not a
+// reporting function.
+func reportingLit(c sim.Cycle) uint64 {
+	f := func() float64 {
+		return float64(c)
+	}
+	return uint64(f())
+}
+
+// integralMath stays in integers: clean.
+func integralMath(c sim.Cycle) sim.Cycle {
+	return c*3 + sim.Cycle(uint64(c)/2)
+}

@@ -1,0 +1,54 @@
+// Package determinism exercises the determinism analyzer: forbidden
+// imports, concurrency syntax, and map iteration. Lines carrying a want
+// marker must produce a diagnostic whose message contains the quoted
+// substring; every other line must stay clean.
+package determinism
+
+import (
+	"sort"
+	"time" // want "import of time"
+)
+
+var clock = time.Now
+
+func concurrency(ch chan int) {
+	go clock() // want "goroutine launch"
+	select {}  // want "select"
+	ch <- 1    // want "channel send"
+	<-ch       // want "channel receive"
+	close(ch)  // want "channel close"
+
+	ch2 := make(chan int) // want "channel construction"
+	for v := range ch2 {  // want "range over channel"
+		_ = v
+	}
+}
+
+func unsortedMap(m map[int]int) int {
+	sum := 0
+	for k := range m { // want "range over map"
+		sum += k
+	}
+	return sum
+}
+
+// sortedCollect follows the sanctioned idiom: collect, then sort. The
+// analyzer must not flag the range statement.
+func sortedCollect(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// suppressed demonstrates the escape hatch: the violation on the marked
+// line is real, but the allow comment (with a mandatory reason) hides it.
+func suppressed(m map[int]int) int {
+	n := 0
+	for range m { //lint:allow determinism(fixture: count is order-independent)
+		n++
+	}
+	return n
+}

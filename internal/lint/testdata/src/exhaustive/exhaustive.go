@@ -1,0 +1,72 @@
+// Package exhaustive exercises the exhaustive-enum analyzer: switches
+// over a typed-const enum must cover every constant or panic in an
+// explicit default clause.
+package exhaustive
+
+import "fmt"
+
+// State is a closed enum; numStates is a sentinel and not a member.
+type State int
+
+const (
+	Idle State = iota
+	Busy
+	Done
+	numStates
+)
+
+var _ = numStates
+
+// covered lists every constant: clean.
+func covered(s State) string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Busy:
+		return "busy"
+	case Done:
+		return "done"
+	}
+	return "?"
+}
+
+// missingCase omits Done and has no default.
+func missingCase(s State) string {
+	switch s { // want "misses Done and has no default clause"
+	case Idle:
+		return "idle"
+	case Busy:
+		return "busy"
+	}
+	return "?"
+}
+
+// silentDefault has a default, but it cannot distinguish a forgotten
+// constant from a corrupted value.
+func silentDefault(s State) string {
+	switch s { // want "default clause does not panic"
+	case Idle:
+		return "idle"
+	default:
+		return "?"
+	}
+}
+
+// panickingDefault is the accepted alternative to full coverage.
+func panickingDefault(s State) string {
+	switch s {
+	case Idle:
+		return "idle"
+	default:
+		panic(fmt.Sprintf("exhaustive: unknown state %d", int(s)))
+	}
+}
+
+// nonConstantCase cannot be verified statically and is left alone.
+func nonConstantCase(s, other State) string {
+	switch s {
+	case other:
+		return "same"
+	}
+	return "?"
+}

@@ -1,0 +1,40 @@
+// Package panichygiene exercises the panic-hygiene analyzer: panics must
+// carry constant, package-prefixed messages, and recover is forbidden.
+package panichygiene
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBad = errors.New("bad")
+
+// nonConstant panics with a bare error value: untraceable.
+func nonConstant() {
+	panic(errBad) // want "must be a constant string"
+}
+
+// wrongPrefix panics with a constant that does not name the package.
+func wrongPrefix() {
+	panic("oops") // want "must start with"
+}
+
+// wrongSprintfPrefix formats correctly but names the wrong subsystem.
+func wrongSprintfPrefix(n int) {
+	panic(fmt.Sprintf("other: bad value %d", n)) // want "must start with"
+}
+
+// good panics are constant and package-prefixed.
+func good(n int) {
+	if n < 0 {
+		panic("panichygiene: negative input")
+	}
+	panic(fmt.Sprintf("panichygiene: invalid n %d", n))
+}
+
+// recovering swallows an invariant violation.
+func recovering() {
+	defer func() {
+		recover() // want "recover in the simulation core"
+	}()
+}

@@ -164,7 +164,7 @@ func New(cfg Config) (*Machine, error) {
 func MustNew(cfg Config) *Machine {
 	m, err := New(cfg)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("machine: invalid config: %v", err))
 	}
 	return m
 }

@@ -99,18 +99,24 @@ func (n *Node) StartThreads(count int, fn func(*Env)) {
 	if count < 1 {
 		count = 1
 	}
+	// The thread coroutines below are the simulator's one sanctioned use
+	// of goroutines and channels: the unbuffered req/resp pair enforces a
+	// strict alternation (the simulation goroutine blocks until the
+	// thread issues an operation, the thread blocks until the simulator
+	// replies), so the Go scheduler never has two runnable goroutines to
+	// choose between and cannot perturb simulated time.
 	for i := 0; i < count; i++ {
 		t := &thread{
 			node: n,
 			idx:  i,
-			req:  make(chan request),
-			resp: make(chan uint64),
+			req:  make(chan request), //lint:allow determinism(unbuffered lockstep handoff; see comment above)
+			resp: make(chan uint64),  //lint:allow determinism(unbuffered lockstep handoff; see comment above)
 		}
 		n.threads = append(n.threads, t)
 		env := &Env{thread: t, P: n.f.Nodes()}
-		go func() {
+		go func() { //lint:allow determinism(coroutine runs in strict alternation with the engine)
 			fn(env)
-			close(t.req)
+			close(t.req) //lint:allow determinism(end-of-thread signal on the lockstep channel)
 		}()
 		n.f.Engine.At(n.f.Engine.Now(), t.next)
 	}
@@ -144,7 +150,7 @@ func (n *Node) FinishedAt() sim.Cycle {
 // goroutine until the thread either issues an operation or returns; this
 // handoff is the lockstep that keeps runs deterministic.
 func (t *thread) next() {
-	r, ok := <-t.req
+	r, ok := <-t.req //lint:allow determinism(lockstep handoff: the engine blocks here until the thread issues)
 	if !ok {
 		t.done = true
 		t.fin = t.node.f.Engine.Now()
@@ -206,7 +212,7 @@ func (t *thread) memDone(v uint64) {
 
 // reply resumes the thread with a result and fetches its next operation.
 func (t *thread) reply(v uint64) {
-	t.resp <- v
+	t.resp <- v //lint:allow determinism(lockstep handoff: resumes the one thread blocked in do)
 	t.next()
 }
 
@@ -218,6 +224,15 @@ type Env struct {
 	P int
 }
 
+// do issues one operation through the lockstep handoff and blocks the
+// thread until the simulator replies. Every Env operation funnels through
+// here; it is the thread-side half of the alternation described in
+// StartThreads.
+func (e *Env) do(r request) uint64 {
+	e.thread.req <- r      //lint:allow determinism(lockstep handoff: wakes the engine blocked in next)
+	return <-e.thread.resp //lint:allow determinism(lockstep handoff: blocks until the engine replies)
+}
+
 // ID returns the node this thread runs on.
 func (e *Env) ID() mem.NodeID { return e.thread.node.ID }
 
@@ -227,20 +242,17 @@ func (e *Env) Thread() int { return e.thread.idx }
 
 // Read loads the word at a.
 func (e *Env) Read(a mem.Addr) uint64 {
-	e.thread.req <- request{kind: opRead, addr: a}
-	return <-e.thread.resp
+	return e.do(request{kind: opRead, addr: a})
 }
 
 // Write stores v at a.
 func (e *Env) Write(a mem.Addr, v uint64) {
-	e.thread.req <- request{kind: opWrite, addr: a, value: v}
-	<-e.thread.resp
+	e.do(request{kind: opWrite, addr: a, value: v})
 }
 
 // RMW atomically applies fn to the word at a, returning the old value.
 func (e *Env) RMW(a mem.Addr, fn func(uint64) uint64) uint64 {
-	e.thread.req <- request{kind: opRMW, addr: a, rmw: fn}
-	return <-e.thread.resp
+	return e.do(request{kind: opRMW, addr: a, rmw: fn})
 }
 
 // FetchAdd atomically adds delta and returns the previous value.
@@ -254,8 +266,7 @@ func (e *Env) Compute(cycles sim.Cycle) {
 	if cycles == 0 {
 		return
 	}
-	e.thread.req <- request{kind: opCompute, cycles: cycles}
-	<-e.thread.resp
+	e.do(request{kind: opCompute, cycles: cycles})
 }
 
 // WaitChange blocks until the word at a differs from old, returning the
@@ -263,8 +274,7 @@ func (e *Env) Compute(cycles sim.Cycle) {
 // re-fetches and re-checks, generating the same coherence traffic as
 // spinning, without simulating every iteration.
 func (e *Env) WaitChange(a mem.Addr, old uint64) uint64 {
-	e.thread.req <- request{kind: opWatch, addr: a, old: old}
-	return <-e.thread.resp
+	return e.do(request{kind: opWatch, addr: a, old: old})
 }
 
 // CheckIn relinquishes this node's cached copy of the block containing a
@@ -272,8 +282,7 @@ func (e *Env) WaitChange(a mem.Addr, old uint64) uint64 {
 // hint that the data will not be reused here, letting the directory retire
 // the pointer before the next writer has to invalidate it.
 func (e *Env) CheckIn(a mem.Addr) {
-	e.thread.req <- request{kind: opCheckIn, addr: a}
-	<-e.thread.resp
+	e.do(request{kind: opCheckIn, addr: a})
 }
 
 // CheckOut acquires exclusive ownership of the block containing a before
@@ -281,8 +290,7 @@ func (e *Env) CheckIn(a mem.Addr) {
 // checked-out block costs one ownership transfer instead of a read recall
 // plus an upgrade.
 func (e *Env) CheckOut(a mem.Addr) {
-	e.thread.req <- request{kind: opCheckOut, addr: a}
-	<-e.thread.resp
+	e.do(request{kind: opCheckOut, addr: a})
 }
 
 // SetCode selects the instruction region the thread is executing from:

@@ -34,32 +34,39 @@ func (c *Checker) verify(b mem.Block, context string) {
 	var exclusiveAt []mem.NodeID
 	var copies []mem.NodeID
 	var shared []cache.Line
+	var sharedAt []mem.NodeID
 	for i := 0; i < c.f.Nodes(); i++ {
 		id := mem.NodeID(i)
 		l, ok := c.f.Cache(id).HasBlock(b)
 		if !ok {
 			continue
 		}
-		copies = append(copies, id)
 		switch l.State {
+		case cache.Invalid:
+			// An invalid line holds no copy; nothing to cross-check.
 		case cache.Exclusive:
+			copies = append(copies, id)
 			exclusiveAt = append(exclusiveAt, id)
 		case cache.Shared:
+			copies = append(copies, id)
 			shared = append(shared, l)
+			sharedAt = append(sharedAt, id)
+		default:
+			panic(fmt.Sprintf("proto: checker: unknown cache line state %d at node %d", l.State, id))
 		}
 	}
 	if len(exclusiveAt) > 1 {
-		panic(fmt.Sprintf("coherence violation (%s): block %d exclusive at nodes %v at cycle %d",
+		panic(fmt.Sprintf("proto: coherence violation (%s): block %d exclusive at nodes %v at cycle %d",
 			context, b, exclusiveAt, c.f.Engine.Now()))
 	}
 	if len(exclusiveAt) == 1 && len(copies) > 1 {
-		panic(fmt.Sprintf("coherence violation (%s): block %d exclusive at node %d but cached at %v at cycle %d",
+		panic(fmt.Sprintf("proto: coherence violation (%s): block %d exclusive at node %d but cached at %v at cycle %d",
 			context, b, exclusiveAt[0], copies, c.f.Engine.Now()))
 	}
 	for i := 1; i < len(shared); i++ {
 		if shared[i].Words != shared[0].Words {
-			panic(fmt.Sprintf("coherence violation (%s): block %d shared copies diverge (%v vs %v) at cycle %d",
-				context, b, shared[0].Words, shared[i].Words, c.f.Engine.Now()))
+			panic(fmt.Sprintf("proto: coherence violation (%s): block %d shared copies diverge (node %d has %v, node %d has %v) at cycle %d",
+				context, b, sharedAt[0], shared[0].Words, sharedAt[i], shared[i].Words, c.f.Engine.Now()))
 		}
 	}
 }

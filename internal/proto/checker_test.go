@@ -1,0 +1,63 @@
+package proto
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"swex/internal/mem"
+)
+
+// TestCheckerPanicsOnDivergentSharedCopies corrupts a shared copy behind
+// the protocol's back and asserts the coherence checker halts the run on
+// the next coherence event, naming the block and the diverging nodes.
+// This is the negative test that keeps the checker honest: a checker that
+// silently tolerates divergence would let real protocol bugs escape every
+// other test in this package.
+func TestCheckerPanicsOnDivergentSharedCopies(t *testing.T) {
+	r := newRig(t, 4, FullMap())
+	r.f.EnableChecker()
+
+	a := r.mem.AllocOn(0, 1)
+	b := mem.BlockOf(a)
+	r.write(0, a, 7)
+
+	// Two remote readers acquire Shared copies of the block.
+	if got := r.read(1, a); got != 7 {
+		t.Fatalf("node 1 read = %d, want 7", got)
+	}
+	if got := r.read(2, a); got != 7 {
+		t.Fatalf("node 2 read = %d, want 7", got)
+	}
+
+	// Corrupt node 2's cached copy directly, bypassing the protocol —
+	// the fault a buggy protocol extension would inject.
+	l, ok := r.f.Cache(2).Cache().Lookup(b, false)
+	if !ok {
+		t.Fatalf("node 2 lost its shared copy of block %d", b)
+	}
+	l.Words[a%mem.WordsPerBlock] = 666
+
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("checker did not panic on divergent shared copies")
+		}
+		msg := fmt.Sprint(rec)
+		for _, sub := range []string{
+			"proto: coherence violation",
+			fmt.Sprintf("block %d", b),
+			"node 1",
+			"node 2",
+		} {
+			if !strings.Contains(msg, sub) {
+				t.Errorf("checker panic %q does not mention %q", msg, sub)
+			}
+		}
+	}()
+
+	// The next coherence event on the block (a third reader's fill)
+	// triggers the machine-wide scan, which must find the divergence.
+	r.read(3, a)
+	t.Fatal("read by node 3 completed without tripping the checker")
+}

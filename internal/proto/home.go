@@ -198,12 +198,14 @@ func (h *HomeCtl) onRead(m Msg, e *dir.Entry) {
 			return
 		}
 		h.startRecall(m.Block, e, m.Src, false)
-	default: // Uncached, Shared
+	case dir.Uncached, dir.Shared:
 		if h.h0UntrackedFillPending(m, e) {
 			h.busy(m)
 			return
 		}
 		h.addReader(m.Block, e, m.Src)
+	default:
+		panic(fmt.Sprintf("proto: read request against block %d in unknown home state %d", m.Block, e.State))
 	}
 }
 
@@ -384,6 +386,10 @@ func (h *HomeCtl) onWrite(m Msg, e *dir.Entry) {
 		}
 		h.startRecall(m.Block, e, m.Src, true)
 		return
+	case dir.Uncached, dir.Shared:
+		// Stable states: dispatch below.
+	default:
+		panic(fmt.Sprintf("proto: write request against block %d in unknown home state %d", m.Block, e.State))
 	}
 
 	if h.h0UntrackedFillPending(m, e) {
@@ -559,8 +565,11 @@ func (h *HomeCtl) onAck(m Msg, e *dir.Entry) {
 			return
 		}
 		h.StrayAcks++
-	default:
+	case dir.Uncached, dir.Shared, dir.Exclusive:
+		// The transaction this ack belonged to already closed.
 		h.StrayAcks++
+	default:
+		panic(fmt.Sprintf("proto: ack for block %d in unknown home state %d", m.Block, e.State))
 	}
 }
 
@@ -639,8 +648,10 @@ func (h *HomeCtl) onWB(m Msg, e *dir.Entry) {
 		// the recall wanted.
 		h.f.Mem.WriteBlock(m.Block, m.Words)
 		h.completeRecall(m.Block, e)
-	default:
+	case dir.Uncached, dir.Shared, dir.AckWait, dir.SWait:
 		// Stale writeback from a closed transaction: drop.
+	default:
+		panic(fmt.Sprintf("proto: writeback for block %d in unknown home state %d", m.Block, e.State))
 	}
 }
 
@@ -696,9 +707,11 @@ func (h *HomeCtl) onRel(m Msg, e *dir.Entry) {
 			e.State = dir.Uncached
 		}
 		h.f.Counters.Inc("home.checkins")
-	default:
+	case dir.Exclusive, dir.AckWait, dir.Recall, dir.SWait:
 		// Mid-transaction check-in: drop; the copy was already
 		// invalidated or is about to be.
+	default:
+		panic(fmt.Sprintf("proto: check-in for block %d in unknown home state %d", m.Block, e.State))
 	}
 }
 

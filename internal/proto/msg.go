@@ -55,8 +55,11 @@ func (k MsgKind) CarriesData() bool {
 	switch k {
 	case MsgRDATA, MsgWDATA, MsgUPDATE, MsgWB:
 		return true
+	case MsgRREQ, MsgWREQ, MsgINV, MsgACK, MsgBUSY, MsgREL:
+		return false
+	default:
+		panic(fmt.Sprintf("proto: unknown message kind %d", int(k)))
 	}
-	return false
 }
 
 // ToHome reports whether the message is processed by the home-side
@@ -65,8 +68,11 @@ func (k MsgKind) ToHome() bool {
 	switch k {
 	case MsgRREQ, MsgWREQ, MsgACK, MsgUPDATE, MsgWB, MsgREL:
 		return true
+	case MsgRDATA, MsgWDATA, MsgINV, MsgBUSY:
+		return false
+	default:
+		panic(fmt.Sprintf("proto: unknown message kind %d", int(k)))
 	}
-	return false
 }
 
 // Msg is one protocol message in flight.

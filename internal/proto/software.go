@@ -1,6 +1,8 @@
 package proto
 
 import (
+	"sort"
+
 	"swex/internal/mem"
 	"swex/internal/sim"
 )
@@ -109,11 +111,7 @@ func (s *NopSoftware) SharersOf(b mem.Block) []mem.NodeID {
 	for id := range set {
 		out = append(out, id)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
