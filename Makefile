@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet race check
+.PHONY: all build test lint vet race check mc mc-smoke
 
 all: build test
 
@@ -28,4 +28,18 @@ vet:
 race:
 	$(GO) test -race ./internal/sim/... ./internal/mesh/...
 
-check: vet lint test race
+# mc exhausts the model checker's full-depth configuration over the whole
+# protocol spectrum: every interleaving of 4 operations on 2 nodes and of
+# 3 operations on 3 nodes. Minutes of work; run before protocol changes.
+mc:
+	$(GO) run ./cmd/swexmc -nodes 2 -blocks 1 -ops 4
+	$(GO) run ./cmd/swexmc -nodes 3 -blocks 1 -ops 3
+	$(GO) run ./cmd/swexmc -nodes 2 -blocks 2 -ops 3
+	$(GO) run ./cmd/swexmc -nodes 3 -blocks 1 -ops 3 -mig -batch
+
+# mc-smoke is the bounded model-checking run wired into `make check`: the
+# 2-node spectrum sweep with golden reachable-state counts.
+mc-smoke:
+	$(GO) test ./internal/mc/
+
+check: vet lint test race mc-smoke

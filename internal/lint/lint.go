@@ -85,6 +85,7 @@ func DefaultConfig() *Config {
 			"swex/internal/proto",
 			"swex/internal/ext",
 			"swex/internal/machine",
+			"swex/internal/mc",
 		},
 		FloatExemptPaths: []string{
 			"swex/internal/stats",

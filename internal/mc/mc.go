@@ -1,0 +1,288 @@
+// Package mc is an exhaustive explicit-state model checker for the
+// protocol spectrum. It drives the real proto/dir/cache/sim machinery —
+// no re-modeling — through every interleaving of a small action alphabet
+// (per-node read, write, evict, and check-in against a handful of blocks)
+// and asserts the coherence invariants on every reachable state.
+//
+// The simulated trace checker (proto.Checker) only ever witnesses the
+// states a benchmark happens to visit; directory protocols break in the
+// adversarial interleavings — an invalidation racing a data reply, an
+// eviction crossing a recall — that benchmarks rarely produce. The model
+// checker enumerates them all, for configurations small enough to
+// exhaust.
+//
+// # Forking by replay
+//
+// A machine state includes scheduled closures (pending message deliveries,
+// handler completions), which cannot be copied. Instead of snapshotting
+// the machine, the checker identifies a state with the *choice trace*
+// that produced it: the engine is deterministic, so replaying a trace on
+// a fresh machine reconstructs the state exactly. Forking at a scheduling
+// choice point is then "replay the parent's trace, apply one more
+// choice". The visited set is keyed by the canonical state fingerprint
+// (proto.Fabric.Snapshot), so two traces that converge on the same
+// logical state are explored once.
+//
+// At every state the available choices are:
+//
+//   - step: fire the next pending engine event (message delivery, handler
+//     completion, busy retry) — exactly one successor, because the engine
+//     orders events deterministically;
+//   - inject op: present one enabled processor operation to a cache
+//     controller, for every (node, block, action) whose action is enabled.
+//
+// The interleavings of injections against event firings are exactly the
+// schedules a real machine could exhibit at some combination of latencies.
+// All worlds run at zero latency (mesh.ZeroLatency, zero proto.Timing) so
+// simulated time stays frozen at cycle zero and logically identical
+// states fingerprint identically regardless of history.
+//
+// # Invariants
+//
+// After every transition the checker asserts, for every tracked block:
+// single writer (an Exclusive copy is the only copy), identical readers
+// (all Shared copies hold the same words), and directory–cache agreement
+// (proto.Fabric.AgreementViolation). Whenever the event queue is empty it
+// additionally asserts quiescence: no in-flight messages, no outstanding
+// miss transactions, no incomplete operations, and every directory entry
+// in a stable state — a machine that has gone quiet with work undone has
+// livelocked or dropped a message.
+package mc
+
+import (
+	"fmt"
+
+	"swex/internal/mem"
+	"swex/internal/proto"
+)
+
+// Action is one member of the model checker's action alphabet.
+type Action int
+
+const (
+	// ActRead presents a load; enabled when the node holds no copy.
+	ActRead Action = iota
+	// ActWrite presents a store of a per-node distinctive value; always
+	// enabled (a hit commits locally, a miss or upgrade transacts).
+	ActWrite
+	// ActEvict silently drops the node's copy, writing back if dirty;
+	// enabled when a copy is resident.
+	ActEvict
+	// ActCheckIn runs the CICO check-in directive (relinquish or write
+	// back); enabled when a copy is resident and no transaction is
+	// outstanding.
+	ActCheckIn
+	numActions
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActRead:
+		return "read"
+	case ActWrite:
+		return "write"
+	case ActEvict:
+		return "evict"
+	case ActCheckIn:
+		return "checkin"
+	default:
+		panic(fmt.Sprintf("mc: unknown action %d", int(a)))
+	}
+}
+
+// Op is one injectable operation: an action by a node on a tracked block.
+type Op struct {
+	Node  mem.NodeID
+	Block int // index into the world's tracked blocks
+	Act   Action
+}
+
+// Choice is one edge of the transition system: either fire the next
+// pending engine event (Step) or inject an operation.
+type Choice struct {
+	Step bool
+	Op   Op
+}
+
+func (c Choice) String() string {
+	if c.Step {
+		return "step"
+	}
+	return fmt.Sprintf("node%d %s b%d", c.Op.Node, c.Op.Act, c.Op.Block)
+}
+
+// Config describes one model-checking run.
+type Config struct {
+	// Spec is the protocol to check.
+	Spec proto.Spec
+	// Nodes is the machine size (2 or 3 for exhaustive runs).
+	Nodes int
+	// Blocks is how many blocks the alphabet touches (1 or 2); block i is
+	// homed on node i mod Nodes.
+	Blocks int
+	// MaxOps bounds the number of injected operations per trace — the
+	// exploration depth. Event steps are not counted: once injected, work
+	// always runs to completion.
+	MaxOps int
+	// MaxStates bounds the visited set (frontier bound); 0 means the
+	// package default. Hitting the bound sets Result.Bounded.
+	MaxStates int
+	// DFS explores depth-first instead of breadth-first. BFS (the
+	// default) guarantees a shortest counterexample.
+	DFS bool
+	// MigratoryDetect and BatchReads toggle the Section 7 enhancements on
+	// the checked machine.
+	MigratoryDetect bool
+	BatchReads      bool
+	// Fault, when set, builds a fresh message-drop filter for each world
+	// (worlds are rebuilt constantly, so the filter must be per-world
+	// state). Used to seed protocol bugs the checker should catch.
+	Fault func() func(proto.Msg) bool
+}
+
+// DefaultMaxStates bounds the visited set when Config.MaxStates is zero.
+const DefaultMaxStates = 1 << 20
+
+// Violation describes an invariant failure, with the shortest trace that
+// reaches it (shortest under BFS; some trace under DFS).
+type Violation struct {
+	// Invariant names the failed predicate.
+	Invariant string
+	// Detail describes the failing state.
+	Detail string
+	// Trace is the choice sequence from the initial state.
+	Trace []Choice
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("%s: %s (trace length %d)", v.Invariant, v.Detail, len(v.Trace))
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Spec echoes the checked protocol.
+	Spec proto.Spec
+	// States counts distinct reachable states (visited-set size).
+	States uint64
+	// Transitions counts explored edges.
+	Transitions uint64
+	// MaxDepth is the longest trace explored.
+	MaxDepth int
+	// Quiescent counts states with an empty event queue (all of which
+	// passed the quiescence invariant).
+	Quiescent uint64
+	// Bounded reports that exploration stopped at MaxStates and the
+	// state space was NOT exhausted.
+	Bounded bool
+	// Violation is non-nil if an invariant failed; exploration stops at
+	// the first violation.
+	Violation *Violation
+}
+
+// node is one frontier entry: the trace that reaches a state plus the
+// choices available there (computed when the state was first built, so
+// expansion needs no extra replay).
+type node struct {
+	trace   []Choice
+	choices []Choice
+}
+
+// Check explores the reachable state space of the configured machine and
+// returns counts plus the first invariant violation found, if any.
+func Check(cfg Config) (*Result, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	maxStates := cfg.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	res := &Result{Spec: cfg.Spec}
+
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if inv, detail := w.invariantViolation(); inv != "" {
+		res.Violation = &Violation{Invariant: inv, Detail: detail}
+		return res, nil
+	}
+	visited := make(map[string]struct{})
+	visited[string(w.fingerprint())] = struct{}{}
+	res.States = 1
+	if w.engine.Pending() == 0 {
+		res.Quiescent++
+	}
+	frontier := []node{{trace: nil, choices: w.choices()}}
+
+	for len(frontier) > 0 {
+		var cur node
+		if cfg.DFS {
+			cur = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+		} else {
+			cur = frontier[0]
+			frontier = frontier[1:]
+		}
+		for _, c := range cur.choices {
+			cw, err := replay(cfg, cur.trace)
+			if err != nil {
+				return nil, err
+			}
+			cw.apply(c)
+			res.Transitions++
+			trace := append(append([]Choice{}, cur.trace...), c)
+			if len(trace) > res.MaxDepth {
+				res.MaxDepth = len(trace)
+			}
+			if inv, detail := cw.invariantViolation(); inv != "" {
+				res.Violation = &Violation{Invariant: inv, Detail: detail, Trace: trace}
+				return res, nil
+			}
+			key := string(cw.fingerprint())
+			if _, seen := visited[key]; seen {
+				continue
+			}
+			if res.States >= uint64(maxStates) {
+				res.Bounded = true
+				continue
+			}
+			visited[key] = struct{}{}
+			res.States++
+			if cw.engine.Pending() == 0 {
+				res.Quiescent++
+			}
+			frontier = append(frontier, node{trace: trace, choices: cw.choices()})
+		}
+	}
+	return res, nil
+}
+
+// validate rejects configurations the checker cannot exhaust.
+func validate(cfg Config) error {
+	if err := cfg.Spec.Validate(); err != nil {
+		return err
+	}
+	if cfg.Nodes < 2 || cfg.Nodes > 8 {
+		return fmt.Errorf("mc: %d nodes; exhaustive checking needs 2..8", cfg.Nodes)
+	}
+	if cfg.Blocks < 1 || cfg.Blocks > 4 {
+		return fmt.Errorf("mc: %d blocks; exhaustive checking needs 1..4", cfg.Blocks)
+	}
+	if cfg.MaxOps < 1 {
+		return fmt.Errorf("mc: operation budget %d; need at least 1", cfg.MaxOps)
+	}
+	return nil
+}
+
+// replay reconstructs the state reached by a trace on a fresh machine.
+func replay(cfg Config, trace []Choice) (*world, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range trace {
+		w.apply(c)
+	}
+	return w, nil
+}

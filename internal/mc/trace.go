@@ -1,0 +1,51 @@
+package mc
+
+import (
+	"bytes"
+	"fmt"
+
+	"swex/internal/sim"
+)
+
+// collectingTracer accumulates protocol trace lines during counterexample
+// replay. At zero latency every event fires at cycle zero, so the cycle is
+// omitted from the rendering.
+type collectingTracer struct {
+	events []string
+}
+
+func (t *collectingTracer) Event(cycle sim.Cycle, kind, detail string) {
+	t.events = append(t.events, fmt.Sprintf("%s %s", kind, detail))
+}
+
+// Explain replays a violation's trace on a fresh world with a tracer
+// attached and renders a numbered narrative: each choice — scheduling
+// steps annotated with the event they fired — interleaved with the
+// protocol messages and traps it provoked. The replay is deterministic, so
+// the narrative describes exactly the execution the checker found.
+func Explain(cfg Config, v *Violation) (string, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return "", err
+	}
+	tr := &collectingTracer{}
+	w.fabric.Trace = tr
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "counterexample (%s): %s violated\n", cfg.Spec.Name, v.Invariant)
+	for i, c := range v.Trace {
+		desc := c.String()
+		if c.Step {
+			if p := w.fabric.PendingDescriptions(); len(p) > 0 {
+				desc = "step: " + p[0]
+			}
+		}
+		tr.events = tr.events[:0]
+		w.apply(c)
+		fmt.Fprintf(&buf, "%3d. %s\n", i+1, desc)
+		for _, e := range tr.events {
+			fmt.Fprintf(&buf, "       %s\n", e)
+		}
+	}
+	fmt.Fprintf(&buf, "  => %s\n", v.Detail)
+	return buf.String(), nil
+}

@@ -1,0 +1,228 @@
+package mc
+
+import (
+	"fmt"
+
+	"swex/internal/cache"
+	"swex/internal/mem"
+	"swex/internal/mesh"
+	"swex/internal/proto"
+	"swex/internal/sim"
+)
+
+// world is one concrete machine under exploration: the real simulator
+// stack (engine, mesh, memory, fabric) plus the checker's operation
+// bookkeeping. Worlds are built constantly (one per explored transition,
+// by replay) and must therefore construct deterministically and cheaply.
+type world struct {
+	cfg    Config
+	engine *sim.Engine
+	fabric *proto.Fabric
+	// blocks are the tracked blocks, block i homed on node i mod Nodes.
+	blocks []mem.Block
+	// addrs[i] is the base word address of blocks[i].
+	addrs []mem.Addr
+	// injected counts operations presented so far; completed counts the
+	// ones whose Done callback fired. Both are part of the logical state
+	// (they bound the remaining alphabet and feed the quiescence
+	// invariant), so fingerprint folds them in.
+	injected  int
+	completed int
+}
+
+// newWorld assembles a fresh machine for the configuration. Zero-latency
+// mesh timing plus an all-zero proto.Timing keep simulated time frozen at
+// cycle zero, so state fingerprints are independent of history.
+func newWorld(cfg Config) (*world, error) {
+	engine := sim.NewEngine()
+	net := mesh.New(engine, mesh.ZeroLatency(cfg.Nodes))
+	memory := mem.New(cfg.Nodes)
+	var soft proto.Software
+	if cfg.Spec.UsesSoftware() {
+		soft = proto.NewNopSoftware()
+	}
+	cacheCfg := proto.CacheConfig{
+		// Big enough that tracked blocks never conflict-miss: the only
+		// evictions are the alphabet's explicit ones.
+		Cache:         cache.Config{Lines: 64},
+		PerfectIfetch: true,
+	}
+	f, err := proto.NewFabric(engine, net, memory, cfg.Spec, proto.Timing{},
+		proto.NewImmediateTraps(engine, cfg.Nodes), soft, cacheCfg)
+	if err != nil {
+		return nil, err
+	}
+	f.MigratoryDetect = cfg.MigratoryDetect
+	f.BatchReads = cfg.BatchReads
+	if cfg.Fault != nil {
+		f.Fault = cfg.Fault()
+	}
+	w := &world{cfg: cfg, engine: engine, fabric: f}
+	for i := 0; i < cfg.Blocks; i++ {
+		a := memory.AllocOn(mem.NodeID(i%cfg.Nodes), mem.WordsPerBlock)
+		w.addrs = append(w.addrs, a)
+		w.blocks = append(w.blocks, mem.BlockOf(a))
+	}
+	return w, nil
+}
+
+// choices enumerates the outgoing edges of the current state in a fixed
+// canonical order: the engine step first (when anything is pending), then
+// enabled injections by (node, block, action).
+func (w *world) choices() []Choice {
+	var out []Choice
+	if w.engine.Pending() > 0 {
+		out = append(out, Choice{Step: true})
+	}
+	if w.injected >= w.cfg.MaxOps {
+		return out
+	}
+	for n := 0; n < w.cfg.Nodes; n++ {
+		id := mem.NodeID(n)
+		for bi := range w.blocks {
+			for a := ActRead; a < numActions; a++ {
+				if w.enabled(id, bi, a) {
+					out = append(out, Choice{Op: Op{Node: id, Block: bi, Act: a}})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// enabled reports whether injecting the action now is meaningful. Actions
+// that would be pure no-ops (reading a resident block, evicting an absent
+// one) are pruned: they cannot change the state, so exploring them only
+// duplicates edges the visited set would fold anyway.
+func (w *world) enabled(id mem.NodeID, bi int, a Action) bool {
+	cc := w.fabric.Cache(id)
+	b := w.blocks[bi]
+	line, ok := cc.HasBlock(b)
+	resident := ok && line.State != cache.Invalid
+	switch a {
+	case ActRead:
+		return !resident
+	case ActWrite:
+		return true
+	case ActEvict:
+		return resident
+	case ActCheckIn:
+		return resident && !cc.HasTxn(b)
+	default:
+		panic(fmt.Sprintf("mc: unknown action %d", int(a)))
+	}
+}
+
+// apply executes one choice. Injections present the operation to the cache
+// controller exactly as a processor would; the controller may complete it
+// synchronously (a hit) or leave events pending (a miss).
+func (w *world) apply(c Choice) {
+	if c.Step {
+		if !w.engine.Step() {
+			panic("mc: step applied with empty event queue")
+		}
+		return
+	}
+	w.injected++
+	cc := w.fabric.Cache(c.Op.Node)
+	a := w.addrs[c.Op.Block]
+	switch c.Op.Act {
+	case ActRead:
+		cc.Access(a, proto.Op{Done: func(uint64) { w.completed++ }})
+	case ActWrite:
+		// Distinctive per-node value keeps the data domain finite while
+		// still distinguishing which writer's store landed.
+		cc.Access(a, proto.Op{Write: true, Value: uint64(c.Op.Node) + 1,
+			Done: func(uint64) { w.completed++ }})
+	case ActEvict:
+		cc.Evict(w.blocks[c.Op.Block])
+		w.completed++
+	case ActCheckIn:
+		cc.CheckIn(a, func() { w.completed++ })
+	default:
+		panic(fmt.Sprintf("mc: unknown action %d", int(c.Op.Act)))
+	}
+}
+
+// fingerprint is the canonical state key: the fabric snapshot plus the
+// operation counters (which bound the remaining alphabet, so machines that
+// look identical but have different budgets left must not merge).
+func (w *world) fingerprint() []byte {
+	snap := w.fabric.Snapshot(w.blocks)
+	return append(snap, fmt.Sprintf("|ops=%d-%d", w.injected, w.completed)...)
+}
+
+// invariantViolation evaluates every invariant against the current state,
+// returning the failed invariant's name and a description, or "", "".
+func (w *world) invariantViolation() (string, string) {
+	for _, b := range w.blocks {
+		if d := w.copiesViolation(b); d != "" {
+			return "single-writer", d
+		}
+		if d := w.readersViolation(b); d != "" {
+			return "identical-readers", d
+		}
+		if d := w.fabric.AgreementViolation(b); d != "" {
+			return "agreement", d
+		}
+	}
+	if w.engine.Pending() == 0 {
+		if w.completed < w.injected {
+			return "quiescence", fmt.Sprintf("event queue drained with %d of %d operations incomplete",
+				w.injected-w.completed, w.injected)
+		}
+		if d := w.fabric.QuiescenceViolation(w.blocks); d != "" {
+			return "quiescence", d
+		}
+	}
+	return "", ""
+}
+
+// copiesViolation checks single-writer for one block: an Exclusive copy
+// must be the only copy anywhere.
+func (w *world) copiesViolation(b mem.Block) string {
+	var exclusiveAt, copies []mem.NodeID
+	for n := 0; n < w.cfg.Nodes; n++ {
+		id := mem.NodeID(n)
+		l, ok := w.fabric.Cache(id).HasBlock(b)
+		if !ok || l.State == cache.Invalid {
+			continue
+		}
+		copies = append(copies, id)
+		if l.State == cache.Exclusive {
+			exclusiveAt = append(exclusiveAt, id)
+		}
+	}
+	if len(exclusiveAt) > 1 {
+		return fmt.Sprintf("block %d exclusive at nodes %v", b, exclusiveAt)
+	}
+	if len(exclusiveAt) == 1 && len(copies) > 1 {
+		return fmt.Sprintf("block %d exclusive at node %d but cached at %v",
+			b, exclusiveAt[0], copies)
+	}
+	return ""
+}
+
+// readersViolation checks identical-readers for one block: all Shared
+// copies must hold the same words.
+func (w *world) readersViolation(b mem.Block) string {
+	var first *cache.Line
+	var firstAt mem.NodeID
+	for n := 0; n < w.cfg.Nodes; n++ {
+		id := mem.NodeID(n)
+		l, ok := w.fabric.Cache(id).HasBlock(b)
+		if !ok || l.State != cache.Shared {
+			continue
+		}
+		if first == nil {
+			l := l
+			first, firstAt = &l, id
+			continue
+		}
+		if l.Words != first.Words {
+			return fmt.Sprintf("block %d shared copies diverge: node %d has %v, node %d has %v",
+				b, firstAt, first.Words, id, l.Words)
+		}
+	}
+	return ""
+}

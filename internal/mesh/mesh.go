@@ -20,6 +20,10 @@ type Config struct {
 	HopCycles sim.Cycle
 	// FlitCycles is the per-flit serialization time at the transmit and
 	// receive queues (one flit per FlitCycles once the channel is free).
+	// Zero means serialization is free: messages still deliver in send
+	// order, but occupy no cycles. The model checker runs the whole
+	// machine at zero latency so that logically identical states are
+	// reached at identical (frozen) simulated times.
 	FlitCycles sim.Cycle
 	// LocalCycles is the loopback latency for a node messaging itself
 	// (the CMMU turns the message around without entering the mesh).
@@ -37,6 +41,17 @@ func DefaultConfig(n int) Config {
 		FlitCycles:  1,
 		LocalCycles: 2,
 	}
+}
+
+// ZeroLatency returns a configuration for n nodes in which every network
+// latency is zero: messages claim their queue slots (so per-destination
+// delivery order still follows send order) but cost no cycles. The model
+// checker (internal/mc) uses it to freeze simulated time at cycle zero,
+// making machine states comparable across different interleaving
+// histories.
+func ZeroLatency(n int) Config {
+	w, h := Dimensions(n)
+	return Config{Width: w, Height: h}
 }
 
 // Dimensions chooses a near-square WxH factorization for n nodes,
@@ -75,9 +90,6 @@ type Network struct {
 func New(engine *sim.Engine, cfg Config) *Network {
 	if cfg.Width <= 0 || cfg.Height <= 0 {
 		panic(fmt.Sprintf("mesh: bad dimensions %dx%d", cfg.Width, cfg.Height))
-	}
-	if cfg.FlitCycles == 0 {
-		cfg.FlitCycles = 1
 	}
 	n := cfg.Width * cfg.Height
 	return &Network{
@@ -130,6 +142,14 @@ func abs(v int) int {
 // order. The coherence protocol depends on this: a data reply sent before
 // an invalidation of the same block must arrive first.
 func (n *Network) Send(src, dst, size int, extra sim.Cycle, deliver func()) sim.Cycle {
+	return n.SendTagged(src, dst, size, extra, nil, deliver)
+}
+
+// SendTagged is Send with an inspection tag attached to the delivery
+// event (see sim.Engine.AtTagged). The protocol fabric tags deliveries
+// with the in-flight message so the model checker can enumerate what is
+// on the wire.
+func (n *Network) SendTagged(src, dst, size int, extra sim.Cycle, tag any, deliver func()) sim.Cycle {
 	if size < 1 {
 		size = 1
 	}
@@ -143,7 +163,7 @@ func (n *Network) Send(src, dst, size int, extra sim.Cycle, deliver func()) sim.
 
 	if src == dst {
 		at := injected + n.cfg.LocalCycles
-		n.engine.At(at, deliver)
+		n.engine.AtTagged(at, tag, deliver)
 		return at
 	}
 
@@ -157,7 +177,7 @@ func (n *Network) Send(src, dst, size int, extra sim.Cycle, deliver func()) sim.
 	// engine fires events deterministically.
 	rxStart := n.rx[dst].Reserve(arrival, ser)
 	done := rxStart + ser
-	n.engine.At(done, deliver)
+	n.engine.AtTagged(done, tag, deliver)
 	return done
 }
 

@@ -163,7 +163,7 @@ func (cc *CacheCtl) Ifetch(pc mem.Addr, done func()) {
 	}
 	lat := cc.f.Timing.MemLatency
 	cc.IfetchStall += lat
-	cc.f.Engine.After(lat, func() {
+	cc.f.Engine.AfterTagged(lat, fmt.Sprintf("ifetch:%d:blk%d", cc.node, b), func() {
 		cc.install(cache.Line{Block: b, State: cache.Shared})
 		done()
 	})
@@ -228,6 +228,25 @@ func (cc *CacheCtl) CheckIn(a mem.Addr, done func()) {
 	done()
 }
 
+// Evict models a silent cache replacement of block b: the line is dropped
+// without telling the home (a clean line leaves a stale directory pointer,
+// which the protocol tolerates by design), except that a dirty line must
+// write its data back. It reports whether a line was resident. The model
+// checker uses it as the "evict" member of its action alphabet; the
+// conformance scenarios model the same thing by hand.
+func (cc *CacheCtl) Evict(b mem.Block) bool {
+	line, had := cc.c.Invalidate(b)
+	if !had {
+		return false
+	}
+	if line.Dirty {
+		cc.f.Send(Msg{Kind: MsgWB, Src: cc.node, Dst: mem.HomeOfBlock(b),
+			Block: b, Words: line.Words})
+	}
+	cc.wakeWatchers(b)
+	return true
+}
+
 // Watch implements the spin-wait primitive: it completes as soon as the
 // word at a differs from old. While the value is unchanged the thread
 // parks; an invalidation or eviction of the block re-arms a fresh read, so
@@ -253,7 +272,8 @@ func (cc *CacheCtl) wakeWatchers(b mem.Block) {
 	delete(cc.watchers, b)
 	for _, w := range ws {
 		w := w
-		cc.f.Engine.After(1, func() { cc.Watch(w.addr, w.old, w.done) })
+		cc.f.Engine.AfterTagged(1, fmt.Sprintf("watch:%d:a%d:o%d", cc.node, w.addr, w.old),
+			func() { cc.Watch(w.addr, w.old, w.done) })
 	}
 }
 
@@ -316,6 +336,20 @@ func (cc *CacheCtl) fill(m Msg, st cache.LineState) {
 	}
 }
 
+// retryTag is the inspection tag of a scheduled BUSY retry. It is a
+// struct, not a string, because the retry's behavior depends on whether
+// the transaction it captured is still the block's current one — a stale
+// retry is a no-op — and the snapshot layer must encode that liveness to
+// keep the state fingerprint sound.
+type retryTag struct {
+	cc *CacheCtl
+	b  mem.Block
+	t  *txn
+}
+
+// live reports whether the retry would re-issue if it fired now.
+func (r *retryTag) live() bool { return r.cc.txns[r.b] == r.t }
+
 // onBusy retries the transaction after the configured delay.
 func (cc *CacheCtl) onBusy(m Msg) {
 	t, ok := cc.txns[m.Block]
@@ -326,8 +360,9 @@ func (cc *CacheCtl) onBusy(m Msg) {
 	cc.Retries++
 	cc.f.Counters.Inc("cache.busy_retries")
 	b := m.Block
-	cc.f.Engine.After(cc.f.Timing.RetryDelay, func() {
-		if cur, ok := cc.txns[b]; ok && cur == t {
+	tag := &retryTag{cc: cc, b: b, t: t}
+	cc.f.Engine.AfterTagged(cc.f.Timing.RetryDelay, tag, func() {
+		if tag.live() {
 			cc.issue(b, t)
 		}
 	})

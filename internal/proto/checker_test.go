@@ -61,3 +61,54 @@ func TestCheckerPanicsOnDivergentSharedCopies(t *testing.T) {
 	r.read(3, a)
 	t.Fatal("read by node 3 completed without tripping the checker")
 }
+
+// TestCheckerPanicsOnUntrackedCopy corrupts the home's directory entry
+// mid-run — dropping a reader's hardware pointer while its cached copy
+// survives — and asserts the directory–cache agreement check halts the run
+// on the next coherence event. This is the kind of damage a buggy software
+// handler (one that frees or rebuilds an extended entry incorrectly) would
+// inflict, and none of the cache-side invariants can see it: the copies
+// are all clean and identical, only the bookkeeping lies.
+func TestCheckerPanicsOnUntrackedCopy(t *testing.T) {
+	r := newRig(t, 4, FullMap())
+	r.f.EnableChecker()
+
+	a := r.mem.AllocOn(0, 1)
+	b := mem.BlockOf(a)
+	if got := r.read(1, a); got != 0 {
+		t.Fatalf("node 1 read = %d, want 0", got)
+	}
+	if got := r.read(2, a); got != 0 {
+		t.Fatalf("node 2 read = %d, want 0", got)
+	}
+
+	// Erase node 2's pointer behind the protocol's back.
+	e, ok := r.f.Home(0).dir.Peek(b)
+	if !ok {
+		t.Fatalf("home has no directory entry for block %d", b)
+	}
+	if !e.Ptrs.Remove(2) {
+		t.Fatalf("home was not tracking node 2 for block %d", b)
+	}
+
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("checker did not panic on untracked cached copy")
+		}
+		msg := fmt.Sprint(rec)
+		for _, sub := range []string{
+			"proto: coherence violation",
+			"untracked",
+			fmt.Sprintf("block %d", b),
+			"node 2",
+		} {
+			if !strings.Contains(msg, sub) {
+				t.Errorf("checker panic %q does not mention %q", msg, sub)
+			}
+		}
+	}()
+
+	r.read(3, a)
+	t.Fatal("read by node 3 completed without tripping the checker")
+}

@@ -449,4 +449,65 @@ func TestConformanceAckModes(t *testing.T) {
 	}
 }
 
+// TestConformanceEnhancementsSweep drives a generic workload — broad read
+// sharing, migratory read-modify-write hopping, write bursts, evictions —
+// across the full protocol spectrum (plus the broadcast variant) with the
+// Section 7 enhancements switched on and the coherence checker enabled.
+// The directed scenarios above pin exact transitions for the base
+// protocols; this sweep checks that the adaptive paths (Exclusive grants
+// to detected-migratory readers, batched read drains) uphold the
+// invariants and the architectural memory semantics on every protocol.
+func TestConformanceEnhancementsSweep(t *testing.T) {
+	for _, spec := range append(Spectrum(), Dir1SW()) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			r := newRig(t, 8, spec)
+			r.f.MigratoryDetect = true
+			r.f.BatchReads = true
+			checker := r.f.EnableChecker()
+			a := r.mem.AllocOn(0, 1)
+
+			// Broad read sharing: overflows every limited directory and
+			// exercises batching when handler chains form.
+			for n := mem.NodeID(0); n < 8; n++ {
+				if got := r.read(n, a); got != 0 {
+					t.Fatalf("node %d read %d, want 0", n, got)
+				}
+			}
+			// Write burst against the full sharer set.
+			r.write(1, a, 11)
+			if got := r.read(2, a); got != 11 {
+				t.Fatalf("node 2 read %d, want 11", got)
+			}
+			// Migratory hopping: read-modify-write chains from node to
+			// node, which the detector should convert to Exclusive grants.
+			for hop := 0; hop < 6; hop++ {
+				n := mem.NodeID(2 + hop%4)
+				r.rmw(n, a, func(old uint64) uint64 { return old + 1 })
+			}
+			if got := r.read(0, a); got != 17 {
+				t.Fatalf("after migratory hops read %d, want 17", got)
+			}
+			// Dirty eviction writes back through the protocol.
+			r.write(3, a, 40)
+			if !r.f.Cache(3).Evict(mem.BlockOf(a)) {
+				t.Fatal("node 3 had no copy to evict")
+			}
+			r.engine.Run(0)
+			if got := r.read(4, a); got != 40 {
+				t.Fatalf("after dirty eviction read %d, want 40", got)
+			}
+			// Re-sharing after the storm.
+			for n := mem.NodeID(5); n < 8; n++ {
+				if got := r.read(n, a); got != 40 {
+					t.Fatalf("node %d read %d, want 40", n, got)
+				}
+			}
+			if checker.Checks == 0 {
+				t.Fatal("coherence checker never ran")
+			}
+		})
+	}
+}
+
 var _ = fmt.Sprintf // keep fmt for scenario debugging helpers

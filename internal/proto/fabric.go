@@ -38,10 +38,26 @@ type Fabric struct {
 	Counters *stats.Counters
 	// Trace, when set, receives every protocol message and trap.
 	Trace Tracer
+	// Fault, when set, intercepts every message before it is injected
+	// into the network; returning true silently drops it. It exists for
+	// fault injection: the model checker's seeded-bug demos (a skipped
+	// invalidation, a lost acknowledgment) are expressed as drop filters,
+	// and the checker then finds the interleaving that turns the lost
+	// message into an invariant violation. Dropped messages are counted
+	// under "msg.dropped".
+	Fault func(Msg) bool
 
-	homes   []*HomeCtl
-	caches  []*CacheCtl
-	checker *Checker
+	homes    []*HomeCtl
+	caches   []*CacheCtl
+	checker  *Checker
+	inflight []*flight
+}
+
+// flight is one registered in-flight message; its identity ties the
+// delivery event back to the registry entry, and it doubles as the
+// delivery event's inspection tag.
+type flight struct {
+	m Msg
 }
 
 // NewFabric builds the fabric and both controllers for every node.
@@ -97,15 +113,59 @@ func (f *Fabric) Send(m Msg) { f.SendDelayed(m, 0) }
 // order always follows call order — the invariant the protocol's
 // data-before-invalidation races rely on.
 func (f *Fabric) SendDelayed(m Msg, extra sim.Cycle) {
+	if f.Fault != nil && f.Fault(m) {
+		f.Counters.Inc("msg.dropped")
+		if f.Trace != nil {
+			f.Trace.Event(f.Engine.Now(), "drop", m.String())
+		}
+		return
+	}
 	f.Counters.Inc("msg." + m.Kind.String())
 	f.traceMsg(m)
-	f.Net.Send(int(m.Src), int(m.Dst), f.Timing.Flits(m.Kind), extra, func() {
+	fl := &flight{m: m}
+	f.inflight = append(f.inflight, fl)
+	f.Net.SendTagged(int(m.Src), int(m.Dst), f.Timing.Flits(m.Kind), extra, fl, func() {
+		f.retire(fl)
 		if m.Kind.ToHome() {
 			f.homes[m.Dst].Deliver(m)
 		} else {
 			f.caches[m.Dst].Deliver(m)
 		}
 	})
+}
+
+// retire removes a delivered message from the in-flight registry.
+func (f *Fabric) retire(fl *flight) {
+	for i, cur := range f.inflight {
+		if cur == fl {
+			f.inflight = append(f.inflight[:i], f.inflight[i+1:]...)
+			return
+		}
+	}
+	panic("proto: retiring a message that is not in flight")
+}
+
+// InFlight returns the messages currently in the network, in send order.
+// The coherence checker consults it (a cached copy is legitimately
+// untracked exactly while its invalidation is racing toward it), and the
+// model checker folds it into the machine-state fingerprint.
+func (f *Fabric) InFlight() []Msg {
+	out := make([]Msg, len(f.inflight))
+	for i, fl := range f.inflight {
+		out[i] = fl.m
+	}
+	return out
+}
+
+// invInFlight reports whether an invalidation for block b is on the wire
+// toward node id.
+func (f *Fabric) invInFlight(b mem.Block, id mem.NodeID) bool {
+	for _, fl := range f.inflight {
+		if fl.m.Kind == MsgINV && fl.m.Block == b && fl.m.Dst == id {
+			return true
+		}
+	}
+	return false
 }
 
 // WorkerSetHist builds the Figure 6 histogram: for every block any home

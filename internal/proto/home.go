@@ -83,7 +83,9 @@ func (h *HomeCtl) Deliver(m Msg) {
 	}
 	e := h.f.Engine
 	start := h.srv.Reserve(e.Now(), h.f.Timing.HomeProc)
-	e.At(start+h.f.Timing.HomeProc, func() { h.process(m) })
+	e.AtTagged(start+h.f.Timing.HomeProc,
+		fmt.Sprintf("proc:%d:%s", h.node, m.String()),
+		func() { h.process(m) })
 }
 
 // specFor returns the protocol governing a block: its override if one was
@@ -160,13 +162,17 @@ func (h *HomeCtl) sendData(kind MsgKind, dst mem.NodeID, b mem.Block) {
 
 // trap schedules a software handler of the given cost and runs then at its
 // completion, returning the completion cycle. The block stays in SWait
-// (set by the caller) until then.
-func (h *HomeCtl) trap(cost sim.Cycle, then func()) sim.Cycle {
+// (set by the caller) until then. The tag identifies the handler for
+// pending-event inspection: it must distinguish handlers whose completion
+// closures behave differently, because the model checker treats two
+// machines with identical observable state and identical pending-event
+// tags as the same state.
+func (h *HomeCtl) trap(tag string, cost sim.Cycle, then func()) sim.Cycle {
 	h.Traps++
 	h.f.Counters.Inc("home.traps")
 	h.f.traceTrap(int(h.node), "handler", cost)
 	done := h.f.Traps.Schedule(h.node, cost)
-	h.f.Engine.At(done, then)
+	h.f.Engine.AtTagged(done, tag, then)
 	return done
 }
 
@@ -290,7 +296,7 @@ func (h *HomeCtl) swRead(b mem.Block, e *dir.Entry, r mem.NodeID, drained []mem.
 	}
 	if first {
 		cost := h.f.Soft.ReadOverflow(b, drained, r)
-		done := h.trap(cost, finish)
+		done := h.trap(fmt.Sprintf("trap:read:%d:blk%d:r%d", h.node, b, r), cost, finish)
 		// Requests arriving while the original handler is still queued
 		// or running are part of the burst it drains inline; anything
 		// later retries. This absorbs the all-nodes-read-at-once bursts
@@ -309,7 +315,8 @@ func (h *HomeCtl) swRead(b mem.Block, e *dir.Entry, r mem.NodeID, drained []mem.
 	h.f.Traps.Schedule(h.node, cost)
 	h.Traps++
 	h.chainEnd[b] += cost
-	h.f.Engine.At(h.chainEnd[b], finish)
+	h.f.Engine.AtTagged(h.chainEnd[b],
+		fmt.Sprintf("trap:readbatch:%d:blk%d:r%d", h.node, b, r), finish)
 }
 
 // h0Read services a read under the software-only directory.
@@ -456,7 +463,7 @@ func (h *HomeCtl) swWriteFault(b mem.Block, e *dir.Entry, r mem.NodeID) {
 	targets := h.invTargets(b, e, r, spec.Broadcast && e.BroadcastBit)
 	e.State = dir.SWait
 	cost := h.f.Soft.WriteFault(b, r, len(targets))
-	h.trap(cost, func() {
+	h.trap(fmt.Sprintf("trap:wfault:%d:blk%d:r%d:t%v", h.node, b, r, targets), cost, func() {
 		e.Epoch++
 		e.AckCount = len(targets)
 		e.Req = r
@@ -584,7 +591,8 @@ func (h *HomeCtl) countAck(b mem.Block, e *dir.Entry) {
 		// transmits the data to the requester.
 		e.State = dir.SWait
 		cost := h.f.Soft.LastAckTrap(b)
-		h.trap(cost, func() { h.grantWrite(b, e, e.Req) })
+		h.trap(fmt.Sprintf("trap:lack:%d:blk%d", h.node, b), cost,
+			func() { h.grantWrite(b, e, e.Req) })
 		return
 	}
 	h.grantWrite(b, e, e.Req)
@@ -597,7 +605,7 @@ func (h *HomeCtl) swAck(b mem.Block, e *dir.Entry) {
 	e.AckCount--
 	last := e.AckCount == 0
 	cost := h.f.Soft.AckTrap(b, last)
-	h.trap(cost, func() {
+	h.trap(fmt.Sprintf("trap:ack:%d:blk%d:last=%v", h.node, b, last), cost, func() {
 		if last {
 			h.grantWrite(b, e, e.Req)
 		}

@@ -50,6 +50,22 @@ func (k MsgKind) String() string {
 	return msgNames[k]
 }
 
+// CarriesEpoch reports whether the message's Epoch field is meaningful:
+// invalidations carry the issuing transaction's epoch out, and the
+// acknowledgments they provoke echo it back so the home can discard ones
+// addressed to an earlier transaction. Every other kind leaves Epoch at
+// zero and nothing ever reads it.
+func (k MsgKind) CarriesEpoch() bool {
+	switch k {
+	case MsgINV, MsgACK, MsgUPDATE:
+		return true
+	case MsgRREQ, MsgWREQ, MsgRDATA, MsgWDATA, MsgBUSY, MsgWB, MsgREL:
+		return false
+	default:
+		panic(fmt.Sprintf("proto: unknown message kind %d", int(k)))
+	}
+}
+
 // CarriesData reports whether the message includes the block contents.
 func (k MsgKind) CarriesData() bool {
 	switch k {

@@ -494,52 +494,6 @@ func TestIfetchFillsAndConflicts(t *testing.T) {
 	}
 }
 
-func TestSpecValidate(t *testing.T) {
-	bad := []Spec{
-		{Name: "x", FullMap: true, SoftwareOnly: true},
-		{Name: "x", SoftwareOnly: true, HWPointers: 2},
-		{Name: "x", SoftwareOnly: true, LocalBit: true},
-		{Name: "x", Broadcast: true, HWPointers: 0},
-		{Name: "x", HWPointers: -1},
-	}
-	for i, s := range bad {
-		if err := s.Validate(); err == nil {
-			t.Errorf("bad spec %d validated", i)
-		}
-	}
-	for _, s := range Spectrum() {
-		if err := s.Validate(); err != nil {
-			t.Errorf("spectrum spec %s invalid: %v", s.Name, err)
-		}
-	}
-}
-
-func TestSpecNames(t *testing.T) {
-	cases := map[string]Spec{
-		"DirnHNBS-":      FullMap(),
-		"DirnH5SNB":      LimitLESS(5),
-		"DirnH1SNB":      OnePointer(AckHW),
-		"DirnH1SNB,LACK": OnePointer(AckLACK),
-		"DirnH1SNB,ACK":  OnePointer(AckSW),
-		"DirnH0SNB,ACK":  SoftwareOnly(),
-		"Dir1H1SB,LACK":  Dir1SW(),
-	}
-	for want, spec := range cases {
-		if spec.Name != want {
-			t.Errorf("spec name %q, want %q", spec.Name, want)
-		}
-	}
-}
-
-func TestPointerCapacity(t *testing.T) {
-	if FullMap().PointerCapacity(64) != 64 {
-		t.Fatal("full-map capacity should equal machine size")
-	}
-	if LimitLESS(5).PointerCapacity(64) != 5 {
-		t.Fatal("LimitLESS(5) capacity should be 5")
-	}
-}
-
 // Sequential-equivalence property: with operations issued one at a time
 // (each completing before the next), the memory behaves like a single flat
 // array regardless of which node performs each operation and which

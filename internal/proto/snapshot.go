@@ -1,0 +1,159 @@
+package proto
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"swex/internal/mem"
+)
+
+// Snapshot serializes the logically observable machine state for the given
+// blocks into a canonical byte string: two machines with equal snapshots
+// are in the same protocol state and, driven identically, will behave
+// identically. The model checker (internal/mc) uses the snapshot as the
+// key of its visited set.
+//
+// The encoding deliberately abstracts three things away so that logically
+// identical states reached through different histories compare equal:
+//
+//   - Statistics (counters, trap counts, retry counts, worker-set maxima)
+//     are excluded: they record history, not state.
+//   - Directory epochs are encoded relative to the entry's current epoch
+//     (an in-flight acknowledgment matters only through whether its epoch
+//     matches the entry's), so histories with different transaction counts
+//     still merge.
+//   - Event firing times are excluded: the checker runs the machine with
+//     zero-latency timing (mesh.ZeroLatency, zero Timing), so simulated
+//     time is frozen at cycle zero and only the firing *order* of pending
+//     events — which the encoding preserves — determines behavior.
+//
+// Pending events appear through their inspection tags: in-flight messages
+// (tagged with the fabric's registry entries) and software handler
+// completions/retries (tagged by the scheduling sites in home.go and
+// cachectl.go). An untagged pending event encodes as "?"; the model
+// checker's worlds never schedule one, but the encoding stays total.
+func (f *Fabric) Snapshot(blocks []mem.Block) []byte {
+	sorted := make([]mem.Block, len(blocks))
+	copy(sorted, blocks)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var buf bytes.Buffer
+	for _, b := range sorted {
+		f.snapBlock(&buf, b)
+	}
+	for i := 0; i < f.Nodes(); i++ {
+		f.snapNode(&buf, mem.NodeID(i), sorted)
+	}
+	f.snapPending(&buf)
+	return buf.Bytes()
+}
+
+// snapBlock encodes the home-side state of one block.
+func (f *Fabric) snapBlock(buf *bytes.Buffer, b mem.Block) {
+	h := f.homes[mem.HomeOfBlock(b)]
+	fmt.Fprintf(buf, "B%d{", b)
+	if e, ok := h.dir.Peek(b); ok {
+		fmt.Fprintf(buf, "st=%d ptrs=%v lb=%v own=%d ack=%d req=%d/%v swx=%v rb=%v bb=%v",
+			int(e.State), e.Ptrs.List(), e.LocalBit, e.Owner, e.AckCount,
+			e.Req, e.ReqWrite, e.SwExt, e.RemoteBit, e.BroadcastBit)
+	}
+	fmt.Fprintf(buf, " swtxn=%v swr=%d", h.swTxn[b], h.swReads[b])
+	if w, ok := h.pendingWrite[b]; ok {
+		fmt.Fprintf(buf, " pw=%d", w)
+	}
+	if st, ok := h.mig[b]; ok && f.MigratoryDetect {
+		fmt.Fprintf(buf, " mig=%d/%v/%d/%v/%v",
+			st.lastWriter, st.haveWriter, st.score, st.migratory, st.lastGrantRead)
+	}
+	if f.Soft != nil {
+		fmt.Fprintf(buf, " soft=%v", f.Soft.SharersOf(b))
+	}
+	fmt.Fprintf(buf, " mem=%v}", f.Mem.ReadBlock(b))
+}
+
+// snapNode encodes one node's cache-side state for the tracked blocks.
+func (f *Fabric) snapNode(buf *bytes.Buffer, id mem.NodeID, blocks []mem.Block) {
+	cc := f.caches[id]
+	fmt.Fprintf(buf, "N%d{", id)
+	for _, b := range blocks {
+		if l, ok := cc.c.Peek(b); ok {
+			fmt.Fprintf(buf, "c%d=%d/%v/%v ", b, int(l.State), l.Dirty, l.Words)
+		}
+		if t, ok := cc.txns[b]; ok {
+			fmt.Fprintf(buf, "t%d=%v[", b, t.write)
+			for _, w := range t.waiters {
+				fmt.Fprintf(buf, "(%d %v %d %v)", w.addr, w.op.Write, w.op.Value, w.op.RMW != nil)
+			}
+			fmt.Fprintf(buf, "] ")
+		}
+		if n := len(cc.watchers[b]); n > 0 {
+			fmt.Fprintf(buf, "w%d=%d ", b, n)
+		}
+	}
+	fmt.Fprintf(buf, "}")
+}
+
+// snapPending encodes the engine's pending events in firing order.
+func (f *Fabric) snapPending(buf *bytes.Buffer) {
+	fmt.Fprintf(buf, "Q[")
+	for _, ev := range f.Engine.PendingTagged() {
+		switch tag := ev.Tag.(type) {
+		case *flight:
+			m := tag.m
+			// Relative epoch, and only for the kinds whose epoch the
+			// protocol reads: equality with the entry's current epoch is
+			// all that matters, and encoding the absolute value (or a
+			// delta against a request's constant zero) would leak the
+			// history-dependent transaction count into the fingerprint.
+			var delta uint32
+			if m.Kind.CarriesEpoch() {
+				delta = f.entryEpoch(m.Block) - m.Epoch
+			}
+			fmt.Fprintf(buf, "M%d:%d>%d:b%d:e%d", int(m.Kind), m.Src, m.Dst, m.Block, delta)
+			if m.Kind.CarriesData() {
+				fmt.Fprintf(buf, ":%v", m.Words)
+			}
+			fmt.Fprintf(buf, ";")
+		case *retryTag:
+			fmt.Fprintf(buf, "retry:%d:blk%d:live=%v;", tag.cc.node, tag.b, tag.live())
+		case string:
+			fmt.Fprintf(buf, "%s;", tag)
+		default:
+			fmt.Fprintf(buf, "?;")
+		}
+	}
+	fmt.Fprintf(buf, "]")
+}
+
+// PendingDescriptions renders the engine's pending events in firing order
+// using their inspection tags: "deliver <msg>" for in-flight messages, the
+// tag itself for tagged handler completions and retries, "event" for
+// untagged events. The model checker's counterexample renderer uses it to
+// narrate what each scheduling step fired.
+func (f *Fabric) PendingDescriptions() []string {
+	var out []string
+	for _, ev := range f.Engine.PendingTagged() {
+		switch tag := ev.Tag.(type) {
+		case *flight:
+			out = append(out, "deliver "+tag.m.String())
+		case *retryTag:
+			out = append(out, fmt.Sprintf("retry node%d blk%d", tag.cc.node, tag.b))
+		case string:
+			out = append(out, tag)
+		default:
+			out = append(out, "event")
+		}
+	}
+	return out
+}
+
+// entryEpoch returns the current epoch of b's home directory entry (zero
+// if the block has never been referenced).
+func (f *Fabric) entryEpoch(b mem.Block) uint32 {
+	h := f.homes[mem.HomeOfBlock(b)]
+	if e, ok := h.dir.Peek(b); ok {
+		return e.Epoch
+	}
+	return 0
+}

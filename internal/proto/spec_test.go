@@ -1,0 +1,137 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpecValidateRejections drives Validate through every invalid
+// combination of the spec flags, checking both that validation fails and
+// that the error names the actual problem.
+func TestSpecValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"full-map+software-only", Spec{Name: "x", FullMap: true, SoftwareOnly: true}, "full-map excludes"},
+		{"full-map+broadcast", Spec{Name: "x", FullMap: true, Broadcast: true}, "full-map excludes"},
+		{"full-map+both", Spec{Name: "x", FullMap: true, SoftwareOnly: true, Broadcast: true}, "full-map excludes"},
+		{"software-only+pointers", Spec{Name: "x", SoftwareOnly: true, HWPointers: 2}, "0 pointers"},
+		{"software-only+one-pointer", Spec{Name: "x", SoftwareOnly: true, HWPointers: 1}, "0 pointers"},
+		{"software-only+local-bit", Spec{Name: "x", SoftwareOnly: true, LocalBit: true}, "no local bit"},
+		{"broadcast+zero-pointers", Spec{Name: "x", Broadcast: true}, "needs a hardware pointer"},
+		{"broadcast+negative-pointers", Spec{Name: "x", Broadcast: true, HWPointers: -1}, "needs a hardware pointer"},
+		{"negative-pointers", Spec{Name: "x", HWPointers: -1}, "negative pointer count"},
+		{"negative-pointers+local-bit", Spec{Name: "x", HWPointers: -3, LocalBit: true}, "negative pointer count"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if err == nil {
+				t.Fatalf("Validate(%+v) accepted an invalid spec", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSpecValidateAccepts checks that every constructor-built protocol —
+// the spectrum, the broadcast variant, and the degenerate-but-legal
+// corners — validates.
+func TestSpecValidateAccepts(t *testing.T) {
+	valid := append(Spectrum(), Dir1SW(),
+		// Zero hardware pointers without the software-only machinery is a
+		// degenerate LimitLESS that traps on every remote read; legal.
+		Spec{Name: "DirnH0SNB"},
+		Spec{Name: "DirnH0SNB+lb", LocalBit: true},
+	)
+	for _, s := range valid {
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %s invalid: %v", s.Name, err)
+		}
+	}
+}
+
+// TestSpecNames pins each constructor to its Dir_iH_XS_Y,A rendering.
+func TestSpecNames(t *testing.T) {
+	cases := map[string]Spec{
+		"DirnHNBS-":      FullMap(),
+		"DirnH2SNB":      LimitLESS(2),
+		"DirnH5SNB":      LimitLESS(5),
+		"DirnH1SNB":      OnePointer(AckHW),
+		"DirnH1SNB,LACK": OnePointer(AckLACK),
+		"DirnH1SNB,ACK":  OnePointer(AckSW),
+		"DirnH0SNB,ACK":  SoftwareOnly(),
+		"Dir1H1SB,LACK":  Dir1SW(),
+	}
+	for want, spec := range cases {
+		if spec.Name != want {
+			t.Errorf("spec name %q, want %q", spec.Name, want)
+		}
+	}
+}
+
+// TestAckModeString covers the three defined modes and the rendering of an
+// out-of-range value (which must be printable, not a panic: it appears in
+// diagnostics for corrupted specs).
+func TestAckModeString(t *testing.T) {
+	cases := map[AckMode]string{
+		AckHW:       "",
+		AckLACK:     "LACK",
+		AckSW:       "ACK",
+		AckMode(7):  "ackmode(7)",
+		AckMode(-1): "ackmode(-1)",
+	}
+	for mode, want := range cases {
+		if got := mode.String(); got != want {
+			t.Errorf("AckMode(%d).String() = %q, want %q", int(mode), got, want)
+		}
+	}
+}
+
+// TestPointerCapacity checks the full-map/limited split and its edges: the
+// software-only directory has capacity zero, and full-map tracks exactly
+// the machine size whatever it is.
+func TestPointerCapacity(t *testing.T) {
+	cases := []struct {
+		spec  Spec
+		nodes int
+		want  int
+	}{
+		{FullMap(), 64, 64},
+		{FullMap(), 2, 2},
+		{FullMap(), 1, 1},
+		{LimitLESS(5), 64, 5},
+		{LimitLESS(2), 2, 2},
+		{OnePointer(AckHW), 64, 1},
+		{Dir1SW(), 64, 1},
+		{SoftwareOnly(), 64, 0},
+	}
+	for _, tc := range cases {
+		if got := tc.spec.PointerCapacity(tc.nodes); got != tc.want {
+			t.Errorf("%s.PointerCapacity(%d) = %d, want %d", tc.spec.Name, tc.nodes, got, tc.want)
+		}
+	}
+}
+
+// TestSpectrumOrder pins the spectrum to the paper's increasing
+// hardware-cost order — the experiment harnesses index into it.
+func TestSpectrumOrder(t *testing.T) {
+	want := []string{
+		"DirnH0SNB,ACK", "DirnH1SNB,ACK", "DirnH1SNB,LACK", "DirnH1SNB",
+		"DirnH2SNB", "DirnH3SNB", "DirnH4SNB", "DirnH5SNB", "DirnHNBS-",
+	}
+	got := Spectrum()
+	if len(got) != len(want) {
+		t.Fatalf("spectrum has %d protocols, want %d", len(got), len(want))
+	}
+	for i, s := range got {
+		if s.Name != want[i] {
+			t.Errorf("spectrum[%d] = %s, want %s", i, s.Name, want[i])
+		}
+	}
+}

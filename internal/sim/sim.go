@@ -14,6 +14,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 )
 
 // Cycle is a point in simulated time, measured in processor clock cycles.
@@ -34,6 +35,7 @@ type scheduledEvent struct {
 	at    Cycle
 	seq   uint64
 	fire  Event
+	tag   any // optional inspection tag (see AtTagged)
 	index int // heap index; -1 once popped or cancelled
 }
 
@@ -100,10 +102,18 @@ func (e *Engine) Pending() int { return len(e.events) }
 // panics: it indicates a protocol bug, and silently reordering time would
 // destroy the determinism guarantee.
 func (e *Engine) At(at Cycle, fn Event) EventID {
+	return e.AtTagged(at, nil, fn)
+}
+
+// AtTagged schedules fn like At and attaches an inspection tag to the
+// pending event. Tags never affect execution; they exist so external
+// observers (the model checker's state-fingerprint layer) can enumerate
+// what is queued without being able to look inside the closures.
+func (e *Engine) AtTagged(at Cycle, tag any, fn Event) EventID {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at cycle %d, now %d", at, e.now))
 	}
-	ev := &scheduledEvent{at: at, seq: e.seq, fire: fn}
+	ev := &scheduledEvent{at: at, seq: e.seq, fire: fn, tag: tag}
 	e.seq++
 	heap.Push(&e.events, ev)
 	return EventID{ev}
@@ -112,6 +122,39 @@ func (e *Engine) At(at Cycle, fn Event) EventID {
 // After schedules fn to run delay cycles from now.
 func (e *Engine) After(delay Cycle, fn Event) EventID {
 	return e.At(e.now+delay, fn)
+}
+
+// AfterTagged schedules fn to run delay cycles from now with a tag.
+func (e *Engine) AfterTagged(delay Cycle, tag any, fn Event) EventID {
+	return e.AtTagged(e.now+delay, tag, fn)
+}
+
+// TaggedEvent describes one pending event for inspection: its firing cycle
+// and the tag it was scheduled with (nil for untagged events).
+type TaggedEvent struct {
+	At  Cycle
+	Tag any
+}
+
+// PendingTagged returns the pending events in firing order (cycle, then
+// scheduling sequence). The slice is a snapshot: mutating it does not
+// affect the queue. The order is exactly the order Step would fire them if
+// nothing else were scheduled, which is what makes it usable as part of a
+// canonical machine-state fingerprint.
+func (e *Engine) PendingTagged() []TaggedEvent {
+	evs := make([]*scheduledEvent, len(e.events))
+	copy(evs, e.events)
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].seq < evs[j].seq
+	})
+	out := make([]TaggedEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = TaggedEvent{At: ev.at, Tag: ev.tag}
+	}
+	return out
 }
 
 // Cancel removes a scheduled event. Cancelling an event that already fired
