@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet race check mc mc-smoke
+.PHONY: all build test lint vet race check mc mc-smoke bench trace-smoke
 
 all: build test
 
@@ -42,4 +42,18 @@ mc:
 mc-smoke:
 	$(GO) test ./internal/mc/
 
-check: vet lint test race mc-smoke
+# bench runs every benchmark once and regenerates the committed baseline.
+# The baseline pins benchmark *structure* (names, metric kinds) and gives
+# reviewers a reference point; absolute times are machine-specific.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... | $(GO) run ./cmd/swexbench -o BENCH_baseline.json
+
+# trace-smoke exercises the tracing pipeline end to end: a traced run must
+# export, export deterministically, and round-trip the profile view. The
+# per-package tests assert the details; this is the `make check` wiring.
+trace-smoke:
+	$(GO) test ./internal/trace/
+	$(GO) run ./cmd/swextrace -worker 4 -iters 2 -nodes 4 -protocol h2 -o /tmp/swextrace-smoke.json
+	$(GO) run ./cmd/swextrace profile -worker 4 -iters 2 -nodes 4 -protocol h2 >/dev/null
+
+check: vet lint test race mc-smoke trace-smoke

@@ -1,0 +1,125 @@
+// Command swexbench turns `go test -bench` output into a stable JSON
+// document, for committing a benchmark baseline next to the code it
+// measures. It reads the benchmark run from stdin, keeps every line that
+// looks like a benchmark result, and writes the metrics keyed by benchmark
+// name in sorted order, so diffs against the committed baseline stay
+// readable.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | swexbench -o BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is the parsed metric set of one benchmark line.
+type result struct {
+	iterations uint64
+	metrics    []metric
+}
+
+// metric is one "value unit" pair from a benchmark line.
+type metric struct {
+	value float64
+	unit  string
+}
+
+func main() {
+	out := flag.String("o", "", `output file ("-" or empty = stdout)`)
+	flag.Parse()
+
+	results := map[string]result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		name, res, ok := parseLine(sc.Text())
+		if ok {
+			results[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" && *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := write(w, results); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseLine recognizes a benchmark result line:
+//
+//	BenchmarkName-8   12   3456 ns/op   78 B/op   9 allocs/op
+func parseLine(line string) (string, result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", result{}, false
+	}
+	iters, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return "", result{}, false
+	}
+	res := result{iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		res.metrics = append(res.metrics, metric{value: v, unit: fields[i+1]})
+	}
+	if len(res.metrics) == 0 {
+		return "", result{}, false
+	}
+	// Strip the -GOMAXPROCS suffix so the baseline is stable across
+	// machines with different core counts.
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name, res, true
+}
+
+// write renders the results as deterministic, diff-friendly JSON: one
+// benchmark per line, names sorted, metric units as keys.
+func write(w *os.File, results map[string]result) error {
+	bw := bufio.NewWriter(w)
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(bw, "{\n  \"benchmarks\": {\n")
+	for i, name := range names {
+		res := results[name]
+		fmt.Fprintf(bw, "    %q: {\"iterations\": %d", name, res.iterations)
+		for _, m := range res.metrics {
+			fmt.Fprintf(bw, ", %q: %s", m.unit, strconv.FormatFloat(m.value, 'f', -1, 64))
+		}
+		fmt.Fprintf(bw, "}")
+		if i+1 < len(names) {
+			fmt.Fprintf(bw, ",")
+		}
+		fmt.Fprintf(bw, "\n")
+	}
+	fmt.Fprintf(bw, "  }\n}\n")
+	return bw.Flush()
+}

@@ -21,6 +21,11 @@ type Handlers struct {
 	parInv   bool
 	// Ledger records every handler invocation for Tables 1 and 2.
 	Ledger stats.Ledger
+
+	// last is the most recent handler's activity breakdown, kept for the
+	// tracing subsystem (proto.BreakdownReporter); lastOK marks it valid.
+	last   stats.Breakdown
+	lastOK bool
 }
 
 // nodeSW is one node's software directory state.
@@ -29,7 +34,25 @@ type nodeSW struct {
 	fl    freeList
 }
 
-var _ proto.Software = (*Handlers)(nil)
+var (
+	_ proto.Software          = (*Handlers)(nil)
+	_ proto.BreakdownReporter = (*Handlers)(nil)
+)
+
+// LastBreakdown implements proto.BreakdownReporter: the per-activity
+// breakdown of the most recent handler, when one was recorded (batched
+// read segments charge a flat incremental cost with no breakdown).
+func (h *Handlers) LastBreakdown() (stats.Breakdown, bool) {
+	return h.last, h.lastOK
+}
+
+// record notes one handler invocation in the ledger and remembers its
+// breakdown for LastBreakdown.
+func (h *Handlers) record(rec stats.HandlerRecord) {
+	h.Ledger.Record(rec)
+	h.last = rec.Breakdown
+	h.lastOK = true
+}
 
 // New builds the extension software for an n-node machine running spec
 // under the given cost model.
@@ -107,7 +130,7 @@ func (h *Handlers) ReadOverflow(b mem.Block, drained []mem.NodeID, requester mem
 	if h.spec.SoftwareOnly && requester == mem.HomeOfBlock(b) {
 		rk = stats.LocalRequest
 	}
-	h.Ledger.Record(stats.HandlerRecord{
+	h.record(stats.HandlerRecord{
 		Kind: rk, Cycles: uint64(cost), Sharers: e.n, Breakdown: breakdown,
 	})
 	return cost
@@ -124,6 +147,9 @@ func (h *Handlers) ReadBatched(b mem.Block, requester mem.NodeID) sim.Cycle {
 		return h.ReadOverflow(b, nil, requester)
 	}
 	e.add(requester, h.maxNodes)
+	// Batched segments charge a flat incremental cost with no activity
+	// breakdown; invalidate the last one so tracing does not reuse it.
+	h.lastOK = false
 	return h.cost.batchedReadCost(h.spec.SoftwareOnly)
 }
 
@@ -150,7 +176,7 @@ func (h *Handlers) WriteFault(b mem.Block, requester mem.NodeID, invs int) sim.C
 		ns.fl.put(e)
 	}
 	cost, breakdown := h.cost.writeCost(sharers, invs, probes, freed, h.parInv)
-	h.Ledger.Record(stats.HandlerRecord{
+	h.record(stats.HandlerRecord{
 		Kind: stats.WriteRequest, Cycles: uint64(cost), Sharers: invs, Breakdown: breakdown,
 	})
 	return cost
@@ -159,7 +185,7 @@ func (h *Handlers) WriteFault(b mem.Block, requester mem.NodeID, invs int) sim.C
 // AckTrap implements proto.Software for the S_NB,ACK protocols.
 func (h *Handlers) AckTrap(b mem.Block, last bool) sim.Cycle {
 	cost, breakdown := h.cost.ackCost(last)
-	h.Ledger.Record(stats.HandlerRecord{
+	h.record(stats.HandlerRecord{
 		Kind: stats.AckRequest, Cycles: uint64(cost), Breakdown: breakdown,
 	})
 	return cost
@@ -168,7 +194,7 @@ func (h *Handlers) AckTrap(b mem.Block, last bool) sim.Cycle {
 // LastAckTrap implements proto.Software for the S_NB,LACK protocols.
 func (h *Handlers) LastAckTrap(b mem.Block) sim.Cycle {
 	cost, breakdown := h.cost.ackCost(true)
-	h.Ledger.Record(stats.HandlerRecord{
+	h.record(stats.HandlerRecord{
 		Kind: stats.AckRequest, Cycles: uint64(cost), Breakdown: breakdown,
 	})
 	return cost

@@ -86,6 +86,7 @@ func DefaultConfig() *Config {
 			"swex/internal/ext",
 			"swex/internal/machine",
 			"swex/internal/mc",
+			"swex/internal/trace",
 		},
 		FloatExemptPaths: []string{
 			"swex/internal/stats",

@@ -1,0 +1,16 @@
+package determinism
+
+import "fmt"
+
+// traceExport models the trace-exporter bug the determinism analyzer must
+// catch: rendering per-transaction flows by ranging over the correlation
+// map directly. Iteration order would vary run to run, so the exported
+// trace would not be byte-identical — the collect-and-sort idiom (see
+// sortedCollect) is the sanctioned form.
+func traceExport(flows map[uint64][]int) string {
+	out := ""
+	for txn, spans := range flows { // want "range over map"
+		out += fmt.Sprintf("%d:%v\n", txn, spans)
+	}
+	return out
+}

@@ -15,6 +15,7 @@ import (
 	"swex/internal/proto"
 	"swex/internal/sim"
 	"swex/internal/stats"
+	"swex/internal/trace"
 )
 
 // SoftwareKind selects the protocol extension implementation.
@@ -75,6 +76,10 @@ type Config struct {
 	// application-specific protocol under the flexible coherence
 	// interface". When set, Software is ignored and Result.Ledger is nil.
 	CustomSoftware proto.Software
+	// Trace, when set, receives structured span events from every layer
+	// of the machine (see internal/trace). Nil disables tracing entirely:
+	// no observers are installed and the hot paths pay one nil branch.
+	Trace trace.Sink
 }
 
 // DefaultConfig returns the paper's default machine: the given protocol
@@ -143,6 +148,11 @@ func New(cfg Config) (*Machine, error) {
 	}
 	fabric.BatchReads = cfg.BatchReads
 	fabric.MigratoryDetect = cfg.MigratoryDetect
+	if cfg.Trace != nil {
+		fabric.Sink = cfg.Trace
+		net.Obs = fabric
+		engine.Observer = pendingSampler(cfg.Trace)
+	}
 
 	m := &Machine{
 		Cfg:    cfg,
@@ -158,6 +168,27 @@ func New(cfg Config) (*Machine, error) {
 		m.Nodes[i] = proc.NewNode(fabric, mem.NodeID(i))
 	}
 	return m, nil
+}
+
+// pendingSamplePeriod spaces the engine's pending-event counter samples:
+// dense enough to show load phases, sparse enough not to swamp the trace.
+const pendingSamplePeriod sim.Cycle = 256
+
+// pendingSampler builds the engine observer that emits the pending-event
+// counter track: one sample per pendingSamplePeriod cycles of simulated
+// time, attributed to the engine pseudo-node (-1).
+func pendingSampler(sink trace.Sink) func(now sim.Cycle, pending int) {
+	var next sim.Cycle
+	return func(now sim.Cycle, pending int) {
+		if now < next {
+			return
+		}
+		next = now + pendingSamplePeriod
+		sink.Emit(trace.Event{
+			Start: now, End: now, Arg: int64(pending), Node: -1, Peer: -1,
+			Cat: trace.CatEngine, Op: trace.OpPending, Name: "pending",
+		})
+	}
 }
 
 // MustNew is New for configurations known statically valid.

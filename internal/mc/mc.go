@@ -1,7 +1,8 @@
 // Package mc is an exhaustive explicit-state model checker for the
 // protocol spectrum. It drives the real proto/dir/cache/sim machinery —
 // no re-modeling — through every interleaving of a small action alphabet
-// (per-node read, write, evict, and check-in against a handful of blocks)
+// (per-node read, write, evict, check-in, and check-out against a handful
+// of blocks)
 // and asserts the coherence invariants on every reachable state.
 //
 // The simulated trace checker (proto.Checker) only ever witnesses the
@@ -72,6 +73,12 @@ const (
 	// back); enabled when a copy is resident and no transaction is
 	// outstanding.
 	ActCheckIn
+	// ActCheckOut runs the CICO check-out directive (acquire exclusive
+	// ownership before use); enabled unless the copy is already held
+	// exclusive. Issued over a pending read transaction it upgrades the
+	// transaction in flight — the raciest path in the directive's
+	// implementation, and the reason it belongs in the alphabet.
+	ActCheckOut
 	numActions
 )
 
@@ -85,6 +92,8 @@ func (a Action) String() string {
 		return "evict"
 	case ActCheckIn:
 		return "checkin"
+	case ActCheckOut:
+		return "checkout"
 	default:
 		panic(fmt.Sprintf("mc: unknown action %d", int(a)))
 	}

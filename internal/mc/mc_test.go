@@ -26,15 +26,15 @@ func smoke(spec proto.Spec) Config {
 // read traps — differs.
 func TestSpectrumSmoke(t *testing.T) {
 	golden := map[string]Result{
-		"DirnH0SNB,ACK":  {States: 1648, Transitions: 2569, MaxDepth: 21, Quiescent: 55},
-		"DirnH1SNB,ACK":  {States: 1196, Transitions: 1921, MaxDepth: 17, Quiescent: 45},
-		"DirnH1SNB,LACK": {States: 1196, Transitions: 1921, MaxDepth: 17, Quiescent: 45},
-		"DirnH1SNB":      {States: 1196, Transitions: 1921, MaxDepth: 17, Quiescent: 45},
-		"DirnH2SNB":      {States: 1196, Transitions: 1921, MaxDepth: 17, Quiescent: 45},
-		"DirnH3SNB":      {States: 1196, Transitions: 1921, MaxDepth: 17, Quiescent: 45},
-		"DirnH4SNB":      {States: 1196, Transitions: 1921, MaxDepth: 17, Quiescent: 45},
-		"DirnH5SNB":      {States: 1196, Transitions: 1921, MaxDepth: 17, Quiescent: 45},
-		"DirnHNBS-":      {States: 1196, Transitions: 1921, MaxDepth: 17, Quiescent: 45},
+		"DirnH0SNB,ACK":  {States: 4639, Transitions: 7501, MaxDepth: 21, Quiescent: 97},
+		"DirnH1SNB,ACK":  {States: 3353, Transitions: 5615, MaxDepth: 18, Quiescent: 69},
+		"DirnH1SNB,LACK": {States: 3353, Transitions: 5615, MaxDepth: 18, Quiescent: 69},
+		"DirnH1SNB":      {States: 3353, Transitions: 5615, MaxDepth: 18, Quiescent: 69},
+		"DirnH2SNB":      {States: 3353, Transitions: 5615, MaxDepth: 18, Quiescent: 69},
+		"DirnH3SNB":      {States: 3353, Transitions: 5615, MaxDepth: 18, Quiescent: 69},
+		"DirnH4SNB":      {States: 3353, Transitions: 5615, MaxDepth: 18, Quiescent: 69},
+		"DirnH5SNB":      {States: 3353, Transitions: 5615, MaxDepth: 18, Quiescent: 69},
+		"DirnHNBS-":      {States: 3353, Transitions: 5615, MaxDepth: 18, Quiescent: 69},
 	}
 	for _, spec := range proto.Spectrum() {
 		spec := spec
@@ -75,8 +75,8 @@ func TestDir1SWSmoke(t *testing.T) {
 	if res.Violation != nil {
 		t.Fatalf("invariant violated: %s", res.Violation)
 	}
-	if res.States != 1196 {
-		t.Fatalf("got %d states, want 1196", res.States)
+	if res.States != 3353 {
+		t.Fatalf("got %d states, want 3353", res.States)
 	}
 }
 

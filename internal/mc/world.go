@@ -108,6 +108,8 @@ func (w *world) enabled(id mem.NodeID, bi int, a Action) bool {
 		return resident
 	case ActCheckIn:
 		return resident && !cc.HasTxn(b)
+	case ActCheckOut:
+		return !resident || line.State != cache.Exclusive
 	default:
 		panic(fmt.Sprintf("mc: unknown action %d", int(a)))
 	}
@@ -139,6 +141,8 @@ func (w *world) apply(c Choice) {
 		w.completed++
 	case ActCheckIn:
 		cc.CheckIn(a, func() { w.completed++ })
+	case ActCheckOut:
+		cc.CheckOut(a, func() { w.completed++ })
 	default:
 		panic(fmt.Sprintf("mc: unknown action %d", int(c.Op.Act)))
 	}

@@ -70,12 +70,32 @@ func Dimensions(n int) (w, h int) {
 	return w, n / w
 }
 
+// MsgObserver receives the complete computed timing of every message at
+// send time. The five cycle points decompose the message's latency:
+//
+//	sent     .. txStart  transmit-queue wait
+//	txStart  .. injected source-side extra (DRAM) plus serialization
+//	injected .. arrival  switch-to-switch flight
+//	arrival  .. rxStart  receive-queue wait
+//	rxStart  .. done     receive-side serialization
+//
+// For a self-send arrival and rxStart equal injected and done is the
+// loopback delivery cycle. The tag is the caller's SendTagged tag.
+// Observers must not send messages or schedule events.
+type MsgObserver interface {
+	MessageTimed(src, dst, size int, extra, sent, txStart, injected, arrival, rxStart, done sim.Cycle, tag any)
+}
+
 // Network is the mesh interconnect shared by all nodes of a machine.
 type Network struct {
 	cfg    Config
 	engine *sim.Engine
 	tx     []sim.Server // per-node transmit queue
 	rx     []sim.Server // per-node receive queue
+
+	// Obs, when non-nil, observes every message's computed timing. Nil
+	// (the default) costs one branch per Send.
+	Obs MsgObserver
 
 	// Messages counts all messages sent; Flits counts total flits.
 	Messages uint64
@@ -163,6 +183,9 @@ func (n *Network) SendTagged(src, dst, size int, extra sim.Cycle, tag any, deliv
 
 	if src == dst {
 		at := injected + n.cfg.LocalCycles
+		if n.Obs != nil {
+			n.Obs.MessageTimed(src, dst, size, extra, now, txStart, injected, injected, injected, at, tag)
+		}
 		n.engine.AtTagged(at, tag, deliver)
 		return at
 	}
@@ -177,6 +200,9 @@ func (n *Network) SendTagged(src, dst, size int, extra sim.Cycle, tag any, deliv
 	// engine fires events deterministically.
 	rxStart := n.rx[dst].Reserve(arrival, ser)
 	done := rxStart + ser
+	if n.Obs != nil {
+		n.Obs.MessageTimed(src, dst, size, extra, now, txStart, injected, arrival, rxStart, done, tag)
+	}
 	n.engine.AtTagged(done, tag, deliver)
 	return done
 }

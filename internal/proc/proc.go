@@ -23,6 +23,7 @@ import (
 	"swex/internal/mem"
 	"swex/internal/proto"
 	"swex/internal/sim"
+	"swex/internal/trace"
 )
 
 // opKind enumerates the operations a thread can issue.
@@ -187,6 +188,13 @@ func (t *thread) execute(r request) {
 		n.f.Cache(n.ID).Access(r.addr, proto.Op{Write: true, RMW: r.rmw, Done: t.memDone})
 	case opCompute:
 		done := n.f.Traps.Reserve(n.ID, r.cycles)
+		if n.f.Sink != nil {
+			n.f.Sink.Emit(trace.Event{
+				Start: done - r.cycles, End: done,
+				Arg: int64(r.cycles), Node: int32(n.ID), Peer: -1,
+				Cat: trace.CatProc, Op: trace.OpCompute, Name: "compute",
+			})
+		}
 		n.f.Engine.At(done, func() { t.reply(0) })
 	case opWatch:
 		n.f.Cache(n.ID).Watch(r.addr, r.old, t.reply)

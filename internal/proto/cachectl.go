@@ -6,6 +6,7 @@ import (
 	"swex/internal/cache"
 	"swex/internal/mem"
 	"swex/internal/sim"
+	"swex/internal/trace"
 )
 
 // CacheConfig sets the processor-side cache geometry and the instruction
@@ -44,11 +45,23 @@ type txn struct {
 	addr    mem.Addr
 	waiters []pendingOp
 	retries int
+
+	// id and begin exist only while tracing is enabled: id is the trace
+	// transaction (flow) id, begin the request-issue cycle. They are
+	// invisible to the protocol and to state fingerprints.
+	id    uint64
+	begin sim.Cycle
 }
 
 type pendingOp struct {
 	addr mem.Addr
 	op   Op
+	// checkout marks a CheckOut's verify-and-retry waiter. It changes no
+	// replay behavior (the closure does the work) but must be visible in
+	// state fingerprints: a checkout waiter re-issues on a Shared fill
+	// where a read waiter completes, so states differing only in the
+	// waiter's kind are not equivalent.
+	checkout bool
 }
 
 type watcher struct {
@@ -132,10 +145,19 @@ func (cc *CacheCtl) enqueue(a mem.Addr, op Op) {
 	t, ok := cc.txns[b]
 	if !ok {
 		t = &txn{write: op.Write, addr: a}
+		cc.beginTrace(t)
 		cc.txns[b] = t
 		cc.issue(b, t)
 	}
-	t.waiters = append(t.waiters, pendingOp{a, op})
+	t.waiters = append(t.waiters, pendingOp{addr: a, op: op})
+}
+
+// beginTrace stamps a new transaction with a trace id (tracing only).
+func (cc *CacheCtl) beginTrace(t *txn) {
+	if cc.f.Sink != nil {
+		t.id = cc.f.nextTxn()
+		t.begin = cc.f.Engine.Now()
+	}
 }
 
 // issue sends the transaction's request message to the home.
@@ -163,6 +185,14 @@ func (cc *CacheCtl) Ifetch(pc mem.Addr, done func()) {
 	}
 	lat := cc.f.Timing.MemLatency
 	cc.IfetchStall += lat
+	if cc.f.Sink != nil {
+		now := cc.f.Engine.Now()
+		cc.f.Sink.Emit(trace.Event{
+			Start: now, End: now + lat, Arg: int64(lat),
+			Node: int32(cc.node), Peer: -1,
+			Cat: trace.CatProc, Op: trace.OpIfetch, Name: "ifetch",
+		})
+	}
 	cc.f.Engine.AfterTagged(lat, fmt.Sprintf("ifetch:%d:blk%d", cc.node, b), func() {
 		cc.install(cache.Line{Block: b, State: cache.Shared})
 		done()
@@ -183,6 +213,7 @@ func (cc *CacheCtl) CheckOut(a mem.Addr, done func()) {
 	t, ok := cc.txns[b]
 	if !ok {
 		t = &txn{write: true, addr: a}
+		cc.beginTrace(t)
 		cc.txns[b] = t
 		cc.issue(b, t)
 	}
@@ -191,7 +222,7 @@ func (cc *CacheCtl) CheckOut(a mem.Addr, done func()) {
 	// in flight: its Shared fill does not confer ownership, so the
 	// waiter re-verifies and retries (the retry upgrades) until the
 	// line is exclusive.
-	t.waiters = append(t.waiters, pendingOp{a, Op{Done: func(uint64) {
+	t.waiters = append(t.waiters, pendingOp{addr: a, checkout: true, op: Op{Done: func(uint64) {
 		if line, ok := cc.c.Peek(b); ok && line.State == cache.Exclusive {
 			done()
 			return
@@ -321,6 +352,17 @@ func (cc *CacheCtl) fill(m Msg, st cache.LineState) {
 			cc.node, m.Kind, b))
 	}
 	delete(cc.txns, b)
+	if cc.f.Sink != nil && t.id != 0 {
+		op := trace.OpMemRead
+		if t.write {
+			op = trace.OpMemWrite
+		}
+		cc.f.Sink.Emit(trace.Event{
+			Start: t.begin, End: cc.f.Engine.Now(), Txn: t.id, Arg: int64(b),
+			Node: int32(cc.node), Peer: -1,
+			Cat: trace.CatMemOp, Op: op, Name: op.String(),
+		})
+	}
 	cc.install(cache.Line{Block: b, State: st, Words: m.Words})
 	cc.f.check(b, "fill")
 	// Replay waiters synchronously, within the fill delivery event: the
@@ -360,6 +402,14 @@ func (cc *CacheCtl) onBusy(m Msg) {
 	cc.Retries++
 	cc.f.Counters.Inc("cache.busy_retries")
 	b := m.Block
+	if cc.f.Sink != nil && t.id != 0 {
+		now := cc.f.Engine.Now()
+		cc.f.Sink.Emit(trace.Event{
+			Start: now, End: now + cc.f.Timing.RetryDelay, Txn: t.id, Arg: int64(b),
+			Node: int32(cc.node), Peer: -1,
+			Cat: trace.CatCache, Op: trace.OpRetryWait, Name: "retry-wait",
+		})
+	}
 	tag := &retryTag{cc: cc, b: b, t: t}
 	cc.f.Engine.AfterTagged(cc.f.Timing.RetryDelay, tag, func() {
 		if tag.live() {

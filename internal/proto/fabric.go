@@ -7,6 +7,7 @@ import (
 	"swex/internal/mesh"
 	"swex/internal/sim"
 	"swex/internal/stats"
+	"swex/internal/trace"
 )
 
 // Fabric wires the per-node controllers to the shared machine resources:
@@ -38,6 +39,10 @@ type Fabric struct {
 	Counters *stats.Counters
 	// Trace, when set, receives every protocol message and trap.
 	Trace Tracer
+	// Sink, when set, receives structured span events for the tracing
+	// subsystem (see internal/trace and sink.go). Nil disables tracing
+	// at one branch per hook.
+	Sink trace.Sink
 	// Fault, when set, intercepts every message before it is injected
 	// into the network; returning true silently drops it. It exists for
 	// fault injection: the model checker's seeded-bug demos (a skipped
@@ -51,6 +56,8 @@ type Fabric struct {
 	caches   []*CacheCtl
 	checker  *Checker
 	inflight []*flight
+	txnSeq   uint64 // trace transaction ids (tracing enabled only)
+	msgSeq   uint64 // trace message sequence numbers
 }
 
 // flight is one registered in-flight message; its identity ties the

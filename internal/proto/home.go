@@ -6,6 +6,7 @@ import (
 	"swex/internal/dir"
 	"swex/internal/mem"
 	"swex/internal/sim"
+	"swex/internal/trace"
 )
 
 // HomeCtl is the home-side protocol engine of one node's CMMU. It owns the
@@ -83,6 +84,14 @@ func (h *HomeCtl) Deliver(m Msg) {
 	}
 	e := h.f.Engine
 	start := h.srv.Reserve(e.Now(), h.f.Timing.HomeProc)
+	if h.f.Sink != nil {
+		h.f.Sink.Emit(trace.Event{
+			Start: start, End: start + h.f.Timing.HomeProc,
+			Txn: h.f.traceTxn(m), Arg: int64(m.Block),
+			Node: int32(h.node), Peer: int32(m.Src),
+			Cat: trace.CatHWDir, Op: trace.OpHomeProc, Name: m.Kind.String(),
+		})
+	}
 	e.AtTagged(start+h.f.Timing.HomeProc,
 		fmt.Sprintf("proc:%d:%s", h.node, m.String()),
 		func() { h.process(m) })
@@ -166,12 +175,16 @@ func (h *HomeCtl) sendData(kind MsgKind, dst mem.NodeID, b mem.Block) {
 // pending-event inspection: it must distinguish handlers whose completion
 // closures behave differently, because the model checker treats two
 // machines with identical observable state and identical pending-event
-// tags as the same state.
-func (h *HomeCtl) trap(tag string, cost sim.Cycle, then func()) sim.Cycle {
+// tags as the same state. The block, requester, and name identify the
+// handler for the trace (r's open transaction owns the handler span).
+func (h *HomeCtl) trap(tag string, b mem.Block, r mem.NodeID, name string, cost sim.Cycle, then func()) sim.Cycle {
 	h.Traps++
 	h.f.Counters.Inc("home.traps")
 	h.f.traceTrap(int(h.node), "handler", cost)
 	done := h.f.Traps.Schedule(h.node, cost)
+	if h.f.Sink != nil {
+		h.f.emitHandler(h.node, b, r, name, cost, done)
+	}
 	h.f.Engine.AtTagged(done, tag, then)
 	return done
 }
@@ -296,7 +309,8 @@ func (h *HomeCtl) swRead(b mem.Block, e *dir.Entry, r mem.NodeID, drained []mem.
 	}
 	if first {
 		cost := h.f.Soft.ReadOverflow(b, drained, r)
-		done := h.trap(fmt.Sprintf("trap:read:%d:blk%d:r%d", h.node, b, r), cost, finish)
+		done := h.trap(fmt.Sprintf("trap:read:%d:blk%d:r%d", h.node, b, r),
+			b, r, "read-overflow", cost, finish)
 		// Requests arriving while the original handler is still queued
 		// or running are part of the burst it drains inline; anything
 		// later retries. This absorbs the all-nodes-read-at-once bursts
@@ -315,6 +329,9 @@ func (h *HomeCtl) swRead(b mem.Block, e *dir.Entry, r mem.NodeID, drained []mem.
 	h.f.Traps.Schedule(h.node, cost)
 	h.Traps++
 	h.chainEnd[b] += cost
+	if h.f.Sink != nil {
+		h.f.emitHandler(h.node, b, r, "read-batched", cost, h.chainEnd[b])
+	}
 	h.f.Engine.AtTagged(h.chainEnd[b],
 		fmt.Sprintf("trap:readbatch:%d:blk%d:r%d", h.node, b, r), finish)
 }
@@ -463,7 +480,8 @@ func (h *HomeCtl) swWriteFault(b mem.Block, e *dir.Entry, r mem.NodeID) {
 	targets := h.invTargets(b, e, r, spec.Broadcast && e.BroadcastBit)
 	e.State = dir.SWait
 	cost := h.f.Soft.WriteFault(b, r, len(targets))
-	h.trap(fmt.Sprintf("trap:wfault:%d:blk%d:r%d:t%v", h.node, b, r, targets), cost, func() {
+	h.trap(fmt.Sprintf("trap:wfault:%d:blk%d:r%d:t%v", h.node, b, r, targets),
+		b, r, "write-fault", cost, func() {
 		e.Epoch++
 		e.AckCount = len(targets)
 		e.Req = r
@@ -591,7 +609,8 @@ func (h *HomeCtl) countAck(b mem.Block, e *dir.Entry) {
 		// transmits the data to the requester.
 		e.State = dir.SWait
 		cost := h.f.Soft.LastAckTrap(b)
-		h.trap(fmt.Sprintf("trap:lack:%d:blk%d", h.node, b), cost,
+		h.trap(fmt.Sprintf("trap:lack:%d:blk%d", h.node, b),
+			b, e.Req, "last-ack", cost,
 			func() { h.grantWrite(b, e, e.Req) })
 		return
 	}
@@ -605,7 +624,8 @@ func (h *HomeCtl) swAck(b mem.Block, e *dir.Entry) {
 	e.AckCount--
 	last := e.AckCount == 0
 	cost := h.f.Soft.AckTrap(b, last)
-	h.trap(fmt.Sprintf("trap:ack:%d:blk%d:last=%v", h.node, b, last), cost, func() {
+	h.trap(fmt.Sprintf("trap:ack:%d:blk%d:last=%v", h.node, b, last),
+		b, e.Req, "ack", cost, func() {
 		if last {
 			h.grantWrite(b, e, e.Req)
 		}

@@ -83,7 +83,7 @@ func (f *Fabric) snapNode(buf *bytes.Buffer, id mem.NodeID, blocks []mem.Block) 
 		if t, ok := cc.txns[b]; ok {
 			fmt.Fprintf(buf, "t%d=%v[", b, t.write)
 			for _, w := range t.waiters {
-				fmt.Fprintf(buf, "(%d %v %d %v)", w.addr, w.op.Write, w.op.Value, w.op.RMW != nil)
+				fmt.Fprintf(buf, "(%d %v %d %v %v)", w.addr, w.op.Write, w.op.Value, w.op.RMW != nil, w.checkout)
 			}
 			fmt.Fprintf(buf, "] ")
 		}

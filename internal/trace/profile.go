@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"fmt"
+
+	"swex/internal/report"
+)
+
+// ProfileRow aggregates one class of transactions: reads or writes,
+// split by whether protocol extension software ran on the flow.
+type ProfileRow struct {
+	// Label names the class ("read (hw)", "write (sw)", ...).
+	Label string
+	// N counts the transactions aggregated.
+	N int
+	// Latency is the total observed latency in cycles.
+	Latency uint64
+	// Path totals the critical-path split (sums to Latency).
+	Path [NumComponents]uint64
+	// Work totals the per-flow component work (unclipped).
+	Work [NumComponents]uint64
+}
+
+// MeanLatency reports the class's mean observed latency.
+func (r *ProfileRow) MeanLatency() float64 { return mean(r.Latency, r.N) }
+
+// MeanPath reports the mean critical-path cycles of one component.
+func (r *ProfileRow) MeanPath(c Component) float64 { return mean(r.Path[c], r.N) }
+
+// MeanWork reports the mean per-flow work cycles of one component.
+func (r *ProfileRow) MeanWork(c Component) float64 { return mean(r.Work[c], r.N) }
+
+func mean(total uint64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+// Profile is the aggregate of an attribution pass.
+type Profile struct {
+	// Rows holds the non-empty transaction classes in fixed order.
+	Rows []ProfileRow
+}
+
+// Summarize groups attribution records into profile rows. Transactions
+// are classed read/write and hw/sw (sw = any software-handler work on
+// the flow), mirroring the paper's hardware-vs-software split.
+func Summarize(recs []TxnRecord) Profile {
+	classes := [4]ProfileRow{
+		{Label: "read (hw)"},
+		{Label: "read (sw)"},
+		{Label: "write (hw)"},
+		{Label: "write (sw)"},
+	}
+	for i := range recs {
+		rec := &recs[i]
+		cls := 0
+		if rec.Write {
+			cls = 2
+		}
+		if rec.Work[CompSWHandler] > 0 {
+			cls++
+		}
+		row := &classes[cls]
+		row.N++
+		row.Latency += uint64(rec.Latency())
+		for c := Component(0); c < NumComponents; c++ {
+			row.Path[c] += uint64(rec.Path[c])
+			row.Work[c] += uint64(rec.Work[c])
+		}
+	}
+	var p Profile
+	for _, row := range classes {
+		if row.N > 0 {
+			p.Rows = append(p.Rows, row)
+		}
+	}
+	return p
+}
+
+// Row finds a class by label (nil if absent or empty).
+func (p *Profile) Row(label string) *ProfileRow {
+	for i := range p.Rows {
+		if p.Rows[i].Label == label {
+			return &p.Rows[i]
+		}
+	}
+	return nil
+}
+
+// PathTable renders the mean critical-path split per transaction class:
+// where the cycles of an observed miss latency go. Components sum to the
+// mean latency by construction.
+func (p *Profile) PathTable() *report.Table {
+	return p.table("Critical-path split of observed latency (mean cycles per transaction)",
+		(*ProfileRow).MeanPath)
+}
+
+// WorkTable renders the mean per-flow component work per transaction
+// class: total cycles expended on behalf of the transaction, including
+// work off the critical path (overlapped invalidations, handlers that
+// outlive the window). The sw-handler column of the "(sw)" rows is the
+// machine-level analogue of the paper's Table 2 handler totals.
+func (p *Profile) WorkTable() *report.Table {
+	return p.table("Per-flow component work (mean cycles per transaction)",
+		(*ProfileRow).MeanWork)
+}
+
+func (p *Profile) table(title string, cell func(*ProfileRow, Component) float64) *report.Table {
+	headers := []string{"class", "n", "latency"}
+	for c := Component(0); c < NumComponents; c++ {
+		headers = append(headers, c.String())
+	}
+	t := report.NewTable(title, headers...)
+	for i := range p.Rows {
+		row := &p.Rows[i]
+		cells := []string{row.Label, fmt.Sprintf("%d", row.N), fmt.Sprintf("%.1f", row.MeanLatency())}
+		for c := Component(0); c < NumComponents; c++ {
+			cells = append(cells, fmt.Sprintf("%.1f", cell(row, c)))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}

@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestCollectorKeepsEmissionOrder(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 5; i++ {
+		c.Emit(Event{Arg: int64(i)})
+	}
+	evs := c.Events()
+	if len(evs) != 5 || c.Total() != 5 {
+		t.Fatalf("got %d events, total %d; want 5, 5", len(evs), c.Total())
+	}
+	for i, e := range evs {
+		if e.Arg != int64(i) {
+			t.Fatalf("event %d has arg %d", i, e.Arg)
+		}
+	}
+}
+
+func TestRingRetainsMostRecent(t *testing.T) {
+	c := NewRing(3)
+	for i := 0; i < 7; i++ {
+		c.Emit(Event{Arg: int64(i)})
+	}
+	evs := c.Events()
+	if len(evs) != 3 {
+		t.Fatalf("ring holds %d events, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Arg != int64(4+i) {
+			t.Fatalf("ring slot %d has arg %d, want %d", i, e.Arg, 4+i)
+		}
+	}
+	if c.Total() != 7 {
+		t.Fatalf("total = %d, want 7", c.Total())
+	}
+}
+
+func TestNewRingRejectsNonPositiveLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestEnumStringsAreTotal(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Category(0); c < NumCategories; c++ {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Fatalf("category %d has empty or duplicate name %q", c, s)
+		}
+		seen[s] = true
+	}
+	seen = map[string]bool{}
+	for o := Op(0); o < NumOps; o++ {
+		s := o.String()
+		if s == "" || seen[s] {
+			t.Fatalf("op %d has empty or duplicate name %q", o, s)
+		}
+		seen[s] = true
+	}
+	seen = map[string]bool{}
+	for c := Component(0); c < NumComponents; c++ {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Fatalf("component %d has empty or duplicate name %q", c, s)
+		}
+		seen[s] = true
+		c.priority() // must not panic
+	}
+}
+
+// synthetic window: txn 1, read of block 9 on node 0, cycles 100..200.
+//   net-transit 100..150, net-queue 110..120 (overlaps transit, higher
+//   priority), sw-handler 150..190, nothing 190..200.
+func syntheticEvents() []Event {
+	return []Event{
+		{Start: 100, End: 200, Txn: 1, Arg: 9, Node: 0, Peer: -1, Cat: CatMemOp, Op: OpMemRead, Name: "read"},
+		{Start: 100, End: 150, Txn: 1, Seq: 1, Arg: 9, Node: 0, Peer: 1, Cat: CatNetTransit, Op: OpWire, Name: "RREQ"},
+		{Start: 110, End: 120, Txn: 1, Seq: 1, Arg: 9, Node: 0, Peer: 1, Cat: CatNetQueue, Op: OpRxQueue, Name: "RREQ"},
+		{Start: 150, End: 190, Txn: 1, Arg: 9, Node: 1, Peer: -1, Cat: CatSWHandler, Op: OpHandler, Name: "read-overflow"},
+	}
+}
+
+func TestAttributeSplitsWindow(t *testing.T) {
+	recs := Attribute(syntheticEvents())
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Txn != 1 || r.Write || r.Block != 9 || r.Latency() != 100 {
+		t.Fatalf("record mis-built: %+v", r)
+	}
+	wantPath := map[Component]int{
+		CompNetTransit: 40, // 100..110 and 120..150
+		CompNetQueue:   10, // 110..120 outranks the transit span under it
+		CompSWHandler:  40, // 150..190
+		CompOther:      10, // 190..200 uncovered
+	}
+	var sum int
+	for c := Component(0); c < NumComponents; c++ {
+		if got := int(r.Path[c]); got != wantPath[c] {
+			t.Errorf("Path[%s] = %d, want %d", c, got, wantPath[c])
+		}
+		sum += int(r.Path[c])
+	}
+	if sum != int(r.Latency()) {
+		t.Fatalf("path components sum to %d, want the %d-cycle latency", sum, r.Latency())
+	}
+	if r.Work[CompNetTransit] != 50 || r.Work[CompNetQueue] != 10 || r.Work[CompSWHandler] != 40 {
+		t.Fatalf("work sums wrong: %v", r.Work)
+	}
+}
+
+func TestAttributeUnclippedWork(t *testing.T) {
+	// A handler outliving the window (the LimitLESS read shape): the
+	// critical path only sees the covered part, the work sum sees it all.
+	evs := []Event{
+		{Start: 100, End: 200, Txn: 1, Arg: 9, Node: 0, Peer: -1, Cat: CatMemOp, Op: OpMemRead, Name: "read"},
+		{Start: 150, End: 400, Txn: 1, Arg: 9, Node: 1, Peer: -1, Cat: CatSWHandler, Op: OpHandler, Name: "read-overflow"},
+	}
+	r := Attribute(evs)[0]
+	if r.Path[CompSWHandler] != 50 {
+		t.Fatalf("clipped path handler = %d, want 50", r.Path[CompSWHandler])
+	}
+	if r.Work[CompSWHandler] != 250 {
+		t.Fatalf("unclipped work handler = %d, want 250", r.Work[CompSWHandler])
+	}
+}
+
+func TestAttributeOrdersByWindowStart(t *testing.T) {
+	evs := []Event{
+		{Start: 500, End: 600, Txn: 2, Node: 1, Peer: -1, Cat: CatMemOp, Op: OpMemWrite, Name: "write"},
+		{Start: 100, End: 200, Txn: 7, Node: 0, Peer: -1, Cat: CatMemOp, Op: OpMemRead, Name: "read"},
+	}
+	recs := Attribute(evs)
+	if len(recs) != 2 || recs[0].Txn != 7 || recs[1].Txn != 2 {
+		t.Fatalf("records out of order: %+v", recs)
+	}
+	if !recs[1].Write {
+		t.Fatal("write window not classed as write")
+	}
+}
+
+func TestSummarizeClasses(t *testing.T) {
+	recs := Attribute(syntheticEvents())
+	p := Summarize(recs)
+	if len(p.Rows) != 1 || p.Rows[0].Label != "read (sw)" {
+		t.Fatalf("got rows %+v, want one read (sw) row", p.Rows)
+	}
+	row := p.Row("read (sw)")
+	if row == nil || row.N != 1 || row.MeanLatency() != 100 {
+		t.Fatalf("row mis-aggregated: %+v", row)
+	}
+	if row.MeanPath(CompSWHandler) != 40 || row.MeanWork(CompSWHandler) != 40 {
+		t.Fatalf("handler means wrong: path %v work %v",
+			row.MeanPath(CompSWHandler), row.MeanWork(CompSWHandler))
+	}
+	if p.Row("write (hw)") != nil {
+		t.Fatal("empty class not dropped")
+	}
+	if p.PathTable().Rows() != 1 || p.WorkTable().Rows() != 1 {
+		t.Fatal("tables do not render one row per class")
+	}
+}
+
+func TestPerfettoExportIsValidJSONAndDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WritePerfetto(&a, syntheticEvents(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePerfetto(&b, syntheticEvents(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same events differ")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		phases[e["ph"].(string)]++
+	}
+	if phases["M"] == 0 || phases["X"] == 0 {
+		t.Fatalf("missing metadata or slices: %v", phases)
+	}
+	if phases["b"] == 0 || phases["b"] != phases["e"] {
+		t.Fatalf("unbalanced async message spans: %v", phases)
+	}
+	if phases["s"] == 0 || phases["f"] == 0 {
+		t.Fatalf("transaction flow events missing: %v", phases)
+	}
+}

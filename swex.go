@@ -35,6 +35,7 @@ import (
 	"swex/internal/proto"
 	"swex/internal/sim"
 	"swex/internal/stats"
+	"swex/internal/trace"
 )
 
 // Protocol identifies one coherence protocol of the spectrum, in the
@@ -139,3 +140,20 @@ const (
 	AckHandler   = stats.AckRequest
 	LocalHandler = stats.LocalRequest
 )
+
+// TraceSink receives structured span events from a traced run; install one
+// through MachineConfig.Trace. See internal/trace for the event model,
+// critical-path attribution, and the Perfetto exporter behind cmd/swextrace.
+type TraceSink = trace.Sink
+
+// TraceEvent is one span in a trace.
+type TraceEvent = trace.Event
+
+// TraceCollector accumulates trace events in memory.
+type TraceCollector = trace.Collector
+
+// NewTraceCollector returns an unbounded in-memory trace sink.
+func NewTraceCollector() *TraceCollector { return trace.NewCollector() }
+
+// NewTraceRing returns a bounded trace sink keeping the last limit events.
+func NewTraceRing(limit int) *TraceCollector { return trace.NewRing(limit) }
