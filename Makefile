@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet race check mc mc-smoke bench trace-smoke
+.PHONY: all build test lint vet race check mc mc-smoke bench bench-sweep trace-smoke sweep-smoke
 
 all: build test
 
@@ -21,12 +21,12 @@ lint:
 vet:
 	$(GO) vet ./...
 
-# race exercises the only packages that touch goroutines (the engine and
-# the network model) under the race detector. The simulation core is
-# single-threaded by contract, so the interesting schedules are in the
-# lockstep handoff.
+# race exercises the only packages that touch goroutines (the engine, the
+# network model, and the sweep orchestrator's worker pool) under the race
+# detector. The simulation core is single-threaded by contract, so the
+# interesting schedules are in the lockstep handoff and the pool merge.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/mesh/...
+	$(GO) test -race ./internal/sim/... ./internal/mesh/... ./internal/sweep/...
 
 # mc exhausts the model checker's full-depth configuration over the whole
 # protocol spectrum: every interleaving of 4 operations on 2 nodes and of
@@ -48,6 +48,25 @@ mc-smoke:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... | $(GO) run ./cmd/swexbench -o BENCH_baseline.json
 
+# bench-sweep regenerates the committed sweep-orchestration baseline: the
+# quick Figure 2 matrix serial / 4-worker / warm-cache, plus the pool
+# overlap benchmarks (the honest parallel-speedup measurement on machines
+# without spare cores; see EXPERIMENTS.md).
+bench-sweep:
+	$(GO) test -run '^$$' -bench 'PoolOverlap|SweepFig2' -benchtime 3x ./internal/sweep/ . | $(GO) run ./cmd/swexbench -o BENCH_sweep.json
+
+# sweep-smoke exercises the sweep orchestrator end to end: the determinism
+# and crash-resume suites, then the swexsweep CLI cold and warm over one
+# cache directory — the warm run must execute zero simulations.
+sweep-smoke:
+	$(GO) test ./internal/sweep/ -run 'TestCrashResume|TestCacheRoundTrip' -count=1
+	$(GO) test . -run 'TestSweepOutputDeterministic|TestSharedBaselineComputedOnce' -count=1
+	d=$$(mktemp -d) && \
+	  $(GO) run ./cmd/swexsweep -quick -workers 4 -cache $$d fig2 >/dev/null && \
+	  $(GO) run ./cmd/swexsweep -quick -workers 4 -cache $$d fig2 2>&1 >/dev/null | grep -q ' 0 executed' && \
+	  $(GO) run ./cmd/swexsweep -status -cache $$d >/dev/null && \
+	  rm -rf $$d
+
 # trace-smoke exercises the tracing pipeline end to end: a traced run must
 # export, export deterministically, and round-trip the profile view. The
 # per-package tests assert the details; this is the `make check` wiring.
@@ -56,4 +75,4 @@ trace-smoke:
 	$(GO) run ./cmd/swextrace -worker 4 -iters 2 -nodes 4 -protocol h2 -o /tmp/swextrace-smoke.json
 	$(GO) run ./cmd/swextrace profile -worker 4 -iters 2 -nodes 4 -protocol h2 >/dev/null
 
-check: vet lint test race mc-smoke trace-smoke
+check: vet lint test race mc-smoke trace-smoke sweep-smoke

@@ -12,6 +12,12 @@
 //
 // -quick runs reduced problem sizes (seconds instead of minutes) that
 // preserve every qualitative shape.
+//
+// All experiments execute through one shared sweep runner (see
+// internal/sweep): -workers bounds the worker pool (default: one per
+// core), and -cache persists finished simulation points to a
+// content-addressed result cache so re-runs and overlapping experiments
+// skip completed work. Output is byte-identical at any worker count.
 package main
 
 import (
@@ -123,6 +129,8 @@ func ablation(title string, fn func(swex.Options) ([]swex.AblationRow, error)) f
 func main() {
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = one per core)")
+	cacheDir := flag.String("cache", "", "content-addressed result cache directory (empty = in-memory only)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -130,6 +138,13 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+
+	sweeper, err := swex.NewSweeper(swex.SweeperConfig{Workers: *workers, CacheDir: *cacheDir})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swex: %v\n", err)
+		os.Exit(1)
+	}
+	defer sweeper.Close()
 
 	all := experiments()
 	byName := map[string]experiment{}
@@ -152,7 +167,7 @@ func main() {
 		}
 	}
 
-	opts := swex.Options{Quick: *quick}
+	opts := swex.Options{Quick: *quick, Sweep: sweeper}
 	results := map[string]any{}
 	for _, e := range selected {
 		start := time.Now()
@@ -176,10 +191,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	fmt.Fprintf(os.Stderr, "swex: %d simulation(s) executed on %d worker(s)\n",
+		sweeper.TotalExecs(), sweeper.Workers())
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: swex [-quick] <experiment>... | all\n\nexperiments:\n")
+	fmt.Fprintf(os.Stderr, "usage: swex [-quick] [-workers N] [-cache DIR] <experiment>... | all\n\nexperiments:\n")
 	var names []string
 	byName := map[string]string{}
 	for _, e := range experiments() {

@@ -1,0 +1,253 @@
+// Command swexsweep orchestrates the paper's experiment matrices as
+// parallel simulation sweeps with a content-addressed result cache and
+// crash-safe resume (see internal/sweep).
+//
+// Usage:
+//
+//	swexsweep [-quick] [-workers N] [-cache DIR] <matrix>... | all
+//	swexsweep -list [-quick] <matrix>... | all
+//	swexsweep -status -cache DIR
+//
+// Matrices: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 scaling
+//
+// The default mode runs the named matrices through one shared worker pool,
+// prints each exhibit, and reports how many simulations actually executed
+// versus how many were served from the cache. With -cache, finished jobs
+// persist: a killed sweep resumes from its manifest journal by skipping
+// completed work, and re-running an unchanged matrix executes zero
+// simulations. Sweep output is byte-identical to a serial run at any
+// worker count.
+//
+// -list prints each job's content hash and description without running
+// anything (the matrix as the cache will see it). -status summarizes a
+// cache directory's manifest journal: distinct completed and failed jobs,
+// with the failures' journaled errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"swex"
+	"swex/internal/sweep"
+)
+
+// matrix names one sweep-backed experiment: its job builder and its
+// assembler/renderer.
+type matrix struct {
+	name    string
+	caption string
+	jobs    func(swex.Options) []swex.SweepJob
+	run     func(swex.Options) (string, error)
+}
+
+func matrices() []matrix {
+	return []matrix{
+		{"table1", "average software-extension latencies (C vs assembly)", swex.Table1Jobs,
+			func(o swex.Options) (string, error) {
+				d, err := swex.Table1(o)
+				if err != nil {
+					return "", err
+				}
+				return d.Table().String(), nil
+			}},
+		{"table2", "median handler cycle breakdown", swex.Table2Jobs,
+			func(o swex.Options) (string, error) {
+				d, err := swex.Table2(o)
+				if err != nil {
+					return "", err
+				}
+				return d.String(), nil
+			}},
+		{"table3", "application characteristics and sequential times", swex.Table3Jobs,
+			func(o swex.Options) (string, error) {
+				rows, err := swex.Table3(o)
+				if err != nil {
+					return "", err
+				}
+				return swex.Table3Table(rows).String(), nil
+			}},
+		{"fig2", "WORKER protocol performance vs worker-set size", swex.Figure2Jobs,
+			func(o swex.Options) (string, error) {
+				d, err := swex.Figure2(o)
+				if err != nil {
+					return "", err
+				}
+				return d.Figure().String(), nil
+			}},
+		{"fig3", "TSP cache-configuration study (instruction/data thrashing)", swex.Figure3Jobs,
+			func(o swex.Options) (string, error) {
+				d, err := swex.Figure3(o)
+				if err != nil {
+					return "", err
+				}
+				return d.Table().String(), nil
+			}},
+		{"fig4", "application speedups across the protocol spectrum", swex.Figure4Jobs,
+			func(o swex.Options) (string, error) {
+				d, err := swex.Figure4(o)
+				if err != nil {
+					return "", err
+				}
+				return d.Table().String(), nil
+			}},
+		{"fig5", "TSP on 256 nodes", swex.Figure5Jobs,
+			func(o swex.Options) (string, error) {
+				d, err := swex.Figure5(o)
+				if err != nil {
+					return "", err
+				}
+				return d.Table().String(), nil
+			}},
+		{"fig6", "EVOLVE worker-set histogram", swex.Figure6Jobs,
+			func(o swex.Options) (string, error) {
+				d, err := swex.Figure6(o)
+				if err != nil {
+					return "", err
+				}
+				return d.Table().String(), nil
+			}},
+		{"scaling", "TSP speedup vs machine size across the spectrum", swex.ScalingJobs,
+			func(o swex.Options) (string, error) {
+				d, err := swex.ScalingStudy(o)
+				if err != nil {
+					return "", err
+				}
+				return d.Figure().String(), nil
+			}},
+	}
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced problem sizes")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = one per core)")
+	cacheDir := flag.String("cache", "", "content-addressed result cache directory (empty = in-memory only)")
+	salt := flag.String("salt", "", "extra key material mixed into every job hash")
+	retries := flag.Int("retries", 0, "re-execution attempts for failed jobs")
+	cycleBudget := flag.Int64("cycle-budget", 0, "per-job simulated-cycle limit (0 = unbounded)")
+	wallBudget := flag.Duration("wall-budget", 0, "per-job wall-clock failure threshold (0 = off; makes failures machine-speed dependent)")
+	list := flag.Bool("list", false, "print the job matrix (hash and description) without running")
+	status := flag.Bool("status", false, "summarize the cache manifest journal and exit")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *status {
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "swexsweep: -status needs -cache DIR")
+			os.Exit(2)
+		}
+		if err := printStatus(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "swexsweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	selected, ok := selectMatrices(flag.Args())
+	if !ok {
+		usage()
+		os.Exit(2)
+	}
+	opts := swex.Options{Quick: *quick}
+
+	if *list {
+		for _, m := range selected {
+			fmt.Printf("# %s: %s\n", m.name, m.caption)
+			for _, job := range m.jobs(opts) {
+				key, err := job.Key(*salt)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "swexsweep: %s: %v\n", m.name, err)
+					os.Exit(1)
+				}
+				fmt.Printf("%s  %s\n", sweep.HashKey(key)[:16], job)
+			}
+		}
+		return
+	}
+
+	sweeper, err := swex.NewSweeper(swex.SweeperConfig{
+		Workers:     *workers,
+		CacheDir:    *cacheDir,
+		Salt:        *salt,
+		Retries:     *retries,
+		CycleBudget: swex.Cycle(*cycleBudget),
+		WallBudget:  *wallBudget,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swexsweep: %v\n", err)
+		os.Exit(1)
+	}
+	defer sweeper.Close()
+	opts.Sweep = sweeper
+
+	for _, m := range selected {
+		start := time.Now()
+		before := sweeper.TotalExecs()
+		out, err := m.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swexsweep: %s: %v\n", m.name, err)
+			os.Exit(1)
+		}
+		executed := sweeper.TotalExecs() - before
+		jobs := len(m.jobs(opts))
+		fmt.Printf("== %s: %s\n\n%s\n", m.name, m.caption, out)
+		fmt.Fprintf(os.Stderr, "swexsweep: %s: %d job(s), %d executed, %d from cache, %.1fs on %d worker(s)\n",
+			m.name, jobs, executed, jobs-executed, time.Since(start).Seconds(), sweeper.Workers())
+	}
+}
+
+// selectMatrices resolves the argument list ("all" or matrix names).
+func selectMatrices(args []string) ([]matrix, bool) {
+	all := matrices()
+	if len(args) == 0 {
+		return nil, false
+	}
+	if len(args) == 1 && args[0] == "all" {
+		return all, true
+	}
+	byName := map[string]matrix{}
+	for _, m := range all {
+		byName[m.name] = m
+	}
+	var selected []matrix
+	for _, a := range args {
+		m, ok := byName[a]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "swexsweep: unknown matrix %q\n\n", a)
+			return nil, false
+		}
+		selected = append(selected, m)
+	}
+	return selected, true
+}
+
+// printStatus summarizes a cache directory's manifest journal.
+func printStatus(dir string) error {
+	c, err := sweep.OpenCache(dir)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st := c.Status()
+	fmt.Printf("cache %s: %d job(s) done, %d failed\n", dir, st.Done, st.Failed)
+	for _, f := range st.Failures {
+		fmt.Printf("  FAILED %s\n    %s\n", f.Key, f.Err)
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: swexsweep [flags] <matrix>... | all
+       swexsweep -list [-quick] <matrix>... | all
+       swexsweep -status -cache DIR
+
+matrices:
+`)
+	for _, m := range matrices() {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", m.name, m.caption)
+	}
+	fmt.Fprintf(os.Stderr, "\nflags:\n")
+	flag.PrintDefaults()
+}

@@ -1,9 +1,12 @@
 // Workersweep: regenerate the Figure 2 data series — WORKER run-time
 // ratios against the full-map directory as the worker-set size grows —
-// using only the public API.
+// using only the public API, orchestrated through the sweep engine so
+// every point runs on the worker pool and (with -cache) persists in the
+// content-addressed result cache across invocations.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -14,6 +17,8 @@ import (
 func main() {
 	nodes := flag.Int("nodes", 16, "machine size")
 	iters := flag.Int("iters", 10, "WORKER iterations")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = one per core)")
+	cacheDir := flag.String("cache", "", "persistent result cache directory")
 	flag.Parse()
 
 	protocols := []swex.Protocol{
@@ -24,19 +29,27 @@ func main() {
 		swex.LimitLESS(2),
 		swex.LimitLESS(5),
 	}
+	sizes := []int{1, 2, 4, 8, 12, *nodes - 1}
 
-	run := func(k int, p swex.Protocol) swex.Cycle {
-		m, err := swex.NewMachine(swex.MachineConfig{Nodes: *nodes, Spec: p})
-		if err != nil {
-			log.Fatal(err)
+	// One job per (size, protocol) point, full-map first per row so the
+	// ratio denominator sits at a known stride.
+	var jobs []swex.SweepJob
+	for _, k := range sizes {
+		for _, p := range append([]swex.Protocol{swex.FullMap()}, protocols...) {
+			jobs = append(jobs, swex.SweepWorkerJob(k, *iters,
+				swex.MachineConfig{Nodes: *nodes, Spec: p}))
 		}
-		app := swex.Worker(k, *iters)
-		inst := app.Setup(m)
-		res, err := m.Run(inst.Thread, 0)
-		if err != nil {
-			log.Fatalf("worker k=%d on %s: %v", k, p.Name, err)
-		}
-		return res.Time
+	}
+
+	sweeper, err := swex.NewSweeper(swex.SweeperConfig{Workers: *workers, CacheDir: *cacheDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sweeper.Close()
+
+	results, err := sweeper.Run(context.Background(), jobs)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Printf("WORKER on %d nodes: run time relative to full-map\n\n", *nodes)
@@ -46,12 +59,16 @@ func main() {
 	}
 	fmt.Println()
 
-	for _, k := range []int{1, 2, 4, 8, 12, *nodes - 1} {
-		full := run(k, swex.FullMap())
+	stride := 1 + len(protocols)
+	for i, k := range sizes {
+		row := results[i*stride : (i+1)*stride]
+		full := row[0].Time
 		fmt.Printf("%-6d", k)
-		for _, p := range protocols {
-			fmt.Printf("  %-14.2f", float64(run(k, p))/float64(full))
+		for _, r := range row[1:] {
+			fmt.Printf("  %-14.2f", float64(r.Time)/float64(full))
 		}
 		fmt.Println()
 	}
+	fmt.Printf("\n%d point(s), %d simulation(s) executed on %d worker(s)\n",
+		len(jobs), sweeper.TotalExecs(), sweeper.Workers())
 }

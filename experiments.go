@@ -1,6 +1,7 @@
 package swex
 
 import (
+	"context"
 	"fmt"
 
 	"swex/internal/apps"
@@ -9,10 +10,21 @@ import (
 	"swex/internal/report"
 	"swex/internal/sim"
 	"swex/internal/stats"
+	"swex/internal/sweep"
 )
 
 // Package-level note: every experiment function is deterministic — the
-// same Options produce bit-identical results.
+// same Options produce bit-identical results, at any worker count.
+//
+// Each experiment is split into a job-matrix builder (XxxJobs) and an
+// assembler (Xxx). The builder enumerates the experiment's simulation
+// points as canonical sweep jobs; the assembler runs them through a sweep
+// runner and shapes the results into the paper's table or figure. Builders
+// and assemblers share the same loop structure, so results are consumed by
+// index. Running several experiments through one shared Runner (as cmd/swex
+// and cmd/swexsweep do) deduplicates the simulation points they share —
+// for example the sequential baselines common to Table 3, Figure 4,
+// Figure 5, and the scaling study run once, not four times.
 
 // Options controls how an experiment runs.
 type Options struct {
@@ -20,9 +32,29 @@ type Options struct {
 	// completes in a few seconds, preserving every qualitative shape.
 	// Used by tests and short benchmark runs.
 	Quick bool
+	// Sweep is the job runner experiments execute on. Nil uses a private
+	// in-memory runner with one worker per core. Sharing one runner
+	// across experiments shares its result cache (and, when configured
+	// with a cache directory, persists results across processes).
+	Sweep *sweep.Runner
+}
+
+// sweeper returns the runner the experiment executes on.
+func (o Options) sweeper() *sweep.Runner {
+	if o.Sweep != nil {
+		return o.Sweep
+	}
+	return sweep.MustNewRunner(sweep.Config{})
+}
+
+// run executes the matrix with fail-fast semantics.
+func (o Options) run(jobs []sweep.Job) ([]sweep.Result, error) {
+	return o.sweeper().Run(context.Background(), jobs)
 }
 
 // runApp executes one application configuration and returns the result.
+// Ablations use this directly; the tables and figures go through the sweep
+// runner instead.
 func runApp(prog apps.Program, cfg machine.Config) (machine.Result, error) {
 	m, err := machine.New(cfg)
 	if err != nil {
@@ -30,19 +62,6 @@ func runApp(prog apps.Program, cfg machine.Config) (machine.Result, error) {
 	}
 	res, _, err := prog.Run(m, 0)
 	return res, err
-}
-
-// runWorkerLedger runs WORKER and returns the machine (for its ledger).
-func runWorkerLedger(nodes, setSize, iters int, sw machine.SoftwareKind) (*machine.Machine, machine.Result, error) {
-	m, err := machine.New(machine.Config{
-		Nodes: nodes, Spec: proto.LimitLESS(5), Software: sw,
-	})
-	if err != nil {
-		return nil, machine.Result{}, err
-	}
-	prog := apps.Worker(apps.WorkerParams{SetSize: setSize, Iters: iters})
-	res, _, err := prog.Run(m, 0)
-	return m, res, err
 }
 
 // --------------------------------------------------------------- Table 1
@@ -58,35 +77,49 @@ type Table1Data struct {
 	AWrite  []float64
 }
 
+// table1Shape returns the readers-per-block slices and iteration count.
+func table1Shape(o Options) (readers []int, iters int) {
+	readers = []int{8, 12, 15}
+	iters = 10
+	if o.Quick {
+		readers = []int{8}
+		iters = 4
+	}
+	return readers, iters
+}
+
+// Table1Jobs enumerates the WORKER runs behind Table 1: one job per
+// (readers, software implementation) pair, software-kind innermost.
+func Table1Jobs(o Options) []sweep.Job {
+	readers, iters := table1Shape(o)
+	var jobs []sweep.Job
+	for _, k := range readers {
+		for _, sw := range []machine.SoftwareKind{machine.FlexibleC, machine.TunedASM} {
+			jobs = append(jobs, sweep.WorkerJob(k, iters, machine.Config{
+				Nodes: 16, Spec: proto.LimitLESS(5), Software: sw,
+			}))
+		}
+	}
+	return jobs
+}
+
 // Table1 measures software handler latencies by running the WORKER
 // benchmark on a 16-node machine, exactly as the paper does. (The largest
 // worker set on 16 nodes with a distinct writer is 15 readers; the paper's
 // 16-reader row becomes 15 here.)
 func Table1(o Options) (*Table1Data, error) {
-	readers := []int{8, 12, 15}
-	iters := 10
-	if o.Quick {
-		readers = []int{8}
-		iters = 4
+	readers, _ := table1Shape(o)
+	results, err := o.run(Table1Jobs(o))
+	if err != nil {
+		return nil, fmt.Errorf("table1: %w", err)
 	}
 	d := &Table1Data{Readers: readers}
-	for _, k := range readers {
-		for _, sw := range []machine.SoftwareKind{machine.FlexibleC, machine.TunedASM} {
-			m, _, err := runWorkerLedger(16, k, iters, sw)
-			if err != nil {
-				return nil, fmt.Errorf("table1 k=%d %s: %w", k, sw, err)
-			}
-			ledger := &m.Soft.Ledger
-			read := ledger.Mean(stats.ReadRequest, -1)
-			write := ledger.Mean(stats.WriteRequest, -1)
-			if sw == machine.FlexibleC {
-				d.CRead = append(d.CRead, read)
-				d.CWrite = append(d.CWrite, write)
-			} else {
-				d.ARead = append(d.ARead, read)
-				d.AWrite = append(d.AWrite, write)
-			}
-		}
+	for i := range readers {
+		c, a := results[i*2], results[i*2+1]
+		d.CRead = append(d.CRead, c.ReadMean)
+		d.CWrite = append(d.CWrite, c.WriteMean)
+		d.ARead = append(d.ARead, a.ReadMean)
+		d.AWrite = append(d.AWrite, a.WriteMean)
 	}
 	return d, nil
 }
@@ -113,30 +146,39 @@ type Table2Data struct {
 	ARead, AWrite stats.Breakdown
 }
 
+// Table2Jobs enumerates the two WORKER runs behind Table 2 (flexible C,
+// then assembly), 8 readers per block on 16 nodes. These are the same
+// simulation points as Table 1's 8-reader row, so a shared runner computes
+// them once for both tables.
+func Table2Jobs(o Options) []sweep.Job {
+	_, iters := table1Shape(o)
+	var jobs []sweep.Job
+	for _, sw := range []machine.SoftwareKind{machine.FlexibleC, machine.TunedASM} {
+		jobs = append(jobs, sweep.WorkerJob(8, iters, machine.Config{
+			Nodes: 16, Spec: proto.LimitLESS(5), Software: sw,
+		}))
+	}
+	return jobs
+}
+
 // Table2 reproduces the per-activity cycle accounting by running WORKER
 // with 8 readers per block on 16 nodes and selecting the median request of
 // each type.
 func Table2(o Options) (*Table2Data, error) {
-	iters := 10
-	if o.Quick {
-		iters = 4
+	results, err := o.run(Table2Jobs(o))
+	if err != nil {
+		return nil, fmt.Errorf("table2: %w", err)
 	}
 	d := &Table2Data{}
-	for _, sw := range []machine.SoftwareKind{machine.FlexibleC, machine.TunedASM} {
-		m, _, err := runWorkerLedger(16, 8, iters, sw)
-		if err != nil {
-			return nil, fmt.Errorf("table2 %s: %w", sw, err)
-		}
-		ledger := &m.Soft.Ledger
-		read, okR := ledger.Median(stats.ReadRequest, -1)
-		write, okW := ledger.Median(stats.WriteRequest, -1)
-		if !okR || !okW {
+	for i, sw := range []machine.SoftwareKind{machine.FlexibleC, machine.TunedASM} {
+		res := results[i]
+		if !res.HasReadMedian || !res.HasWriteMedian {
 			return nil, fmt.Errorf("table2 %s: no handler records", sw)
 		}
 		if sw == machine.FlexibleC {
-			d.CRead, d.CWrite = read.Breakdown, write.Breakdown
+			d.CRead, d.CWrite = res.ReadMedian.Stats(), res.WriteMedian.Stats()
 		} else {
-			d.ARead, d.AWrite = read.Breakdown, write.Breakdown
+			d.ARead, d.AWrite = res.ReadMedian.Stats(), res.WriteMedian.Stats()
 		}
 	}
 	return d, nil
@@ -176,30 +218,48 @@ func figure2Specs() []proto.Spec {
 	}
 }
 
-// Figure2 runs the WORKER worker-set-size sweep on 16 nodes.
-func Figure2(o Options) (*Figure2Data, error) {
-	sizes := []int{1, 2, 4, 8, 12, 15}
-	iters := 10
+// figure2Shape returns the worker-set sizes and iteration count.
+func figure2Shape(o Options) (sizes []int, iters int) {
+	sizes = []int{1, 2, 4, 8, 12, 15}
+	iters = 10
 	if o.Quick {
 		sizes = []int{2, 8}
 		iters = 4
 	}
+	return sizes, iters
+}
+
+// Figure2Jobs enumerates the WORKER protocol sweep: for each worker-set
+// size, the full-map baseline followed by each spectrum point.
+func Figure2Jobs(o Options) []sweep.Job {
+	sizes, iters := figure2Shape(o)
+	var jobs []sweep.Job
+	for _, k := range sizes {
+		jobs = append(jobs, sweep.WorkerJob(k, iters, machine.Config{Nodes: 16, Spec: proto.FullMap()}))
+		for _, spec := range figure2Specs() {
+			jobs = append(jobs, sweep.WorkerJob(k, iters, machine.Config{Nodes: 16, Spec: spec}))
+		}
+	}
+	return jobs
+}
+
+// Figure2 runs the WORKER worker-set-size sweep on 16 nodes.
+func Figure2(o Options) (*Figure2Data, error) {
+	sizes, _ := figure2Shape(o)
 	specs := figure2Specs()
+	results, err := o.run(Figure2Jobs(o))
+	if err != nil {
+		return nil, fmt.Errorf("figure2: %w", err)
+	}
 	d := &Figure2Data{Sizes: sizes, Ratio: make(map[string][]float64)}
 	for _, s := range specs {
 		d.Protocols = append(d.Protocols, s.Name)
 	}
-	for _, k := range sizes {
-		prog := apps.Worker(apps.WorkerParams{SetSize: k, Iters: iters})
-		full, err := runApp(prog, machine.Config{Nodes: 16, Spec: proto.FullMap()})
-		if err != nil {
-			return nil, fmt.Errorf("figure2 full-map k=%d: %w", k, err)
-		}
-		for _, spec := range specs {
-			res, err := runApp(prog, machine.Config{Nodes: 16, Spec: spec})
-			if err != nil {
-				return nil, fmt.Errorf("figure2 %s k=%d: %w", spec.Name, k, err)
-			}
+	stride := 1 + len(specs)
+	for i := range sizes {
+		full := results[i*stride]
+		for j, spec := range specs {
+			res := results[i*stride+1+j]
 			d.Ratio[spec.Name] = append(d.Ratio[spec.Name],
 				float64(res.Time)/float64(full.Time))
 		}
@@ -231,14 +291,37 @@ type Table3Row struct {
 	SeqCycles  sim.Cycle
 }
 
-// Table3 measures each application's sequential time on one node at the
-// 33 MHz Alewife clock. Languages are the paper's; sizes are this
-// reproduction's scaled instances.
-func Table3(o Options) ([]Table3Row, error) {
+// table3Names lists the applications in registry (Figure 4) order.
+func table3Names(o Options) []string {
 	registry := apps.Registry()
 	if o.Quick {
 		registry = apps.QuickRegistry()
 	}
+	var names []string
+	for _, prog := range registry {
+		names = append(names, prog.Name)
+	}
+	return names
+}
+
+// Table3Jobs enumerates the sequential baseline of each application: one
+// node, full-map, victim caching — the same configuration the parallel
+// studies normalize against, so a shared runner computes each baseline
+// once across Table 3, Figure 4, Figure 5, and the scaling study.
+func Table3Jobs(o Options) []sweep.Job {
+	var jobs []sweep.Job
+	for _, name := range table3Names(o) {
+		jobs = append(jobs, sweep.AppJob(name, o.Quick, machine.Config{
+			Nodes: 1, Spec: proto.FullMap(), VictimLines: 8,
+		}))
+	}
+	return jobs
+}
+
+// Table3 measures each application's sequential time on one node at the
+// 33 MHz Alewife clock. Languages are the paper's; sizes are this
+// reproduction's scaled instances.
+func Table3(o Options) ([]Table3Row, error) {
 	meta := map[string][2]string{
 		"TSP":    {"Mul-T", "11 city tour"},
 		"AQ":     {"Semi-C", "x^4y^4 over ((0,0),(2,2))"},
@@ -247,16 +330,16 @@ func Table3(o Options) ([]Table3Row, error) {
 		"MP3D":   {"C", "4,096 particles"},
 		"WATER":  {"C", "64 molecules"},
 	}
+	results, err := o.run(Table3Jobs(o))
+	if err != nil {
+		return nil, fmt.Errorf("table3: %w", err)
+	}
 	var rows []Table3Row
-	for _, prog := range registry {
-		res, err := runApp(prog, machine.Config{Nodes: 1, Spec: proto.FullMap(), VictimLines: 8})
-		if err != nil {
-			return nil, fmt.Errorf("table3 %s: %w", prog.Name, err)
-		}
-		m := meta[prog.Name]
+	for i, name := range table3Names(o) {
+		m := meta[name]
 		rows = append(rows, Table3Row{
-			Name: prog.Name, Language: m[0], Size: m[1],
-			SeqSeconds: res.Time.Seconds(), SeqCycles: res.Time,
+			Name: name, Language: m[0], Size: m[1],
+			SeqSeconds: results[i].Time.Seconds(), SeqCycles: results[i].Time,
 		})
 	}
 	return rows, nil
@@ -310,46 +393,61 @@ type Figure3Data struct {
 	Time map[string][]sim.Cycle
 }
 
+// figure3Modes are the cache configurations of the TSP study.
+func figure3Modes() []string { return []string{"base", "perfect-ifetch", "victim-cache"} }
+
+// figure3Apply sets one cache mode on a configuration.
+func figure3Apply(mode string, c *machine.Config) {
+	switch mode {
+	case "perfect-ifetch":
+		c.PerfectIfetch = true
+	case "victim-cache":
+		c.VictimLines = 8
+	}
+}
+
+// Figure3Jobs enumerates the TSP thrashing study: for each cache mode, the
+// sequential baseline followed by each spectrum point.
+func Figure3Jobs(o Options) []sweep.Job {
+	nodes := 64
+	if o.Quick {
+		nodes = 16
+	}
+	var jobs []sweep.Job
+	for _, mode := range figure3Modes() {
+		seq := machine.Config{Nodes: 1, Spec: proto.FullMap()}
+		figure3Apply(mode, &seq)
+		jobs = append(jobs, sweep.AppJob("TSP", o.Quick, seq))
+		for _, spec := range fig4Specs() {
+			cfg := machine.Config{Nodes: nodes, Spec: spec}
+			figure3Apply(mode, &cfg)
+			jobs = append(jobs, sweep.AppJob("TSP", o.Quick, cfg))
+		}
+	}
+	return jobs
+}
+
 // Figure3 reproduces the TSP instruction/data thrashing study on 64 nodes
 // (16 in quick mode).
 func Figure3(o Options) (*Figure3Data, error) {
-	nodes := 64
-	prog := apps.TSP(apps.DefaultTSP())
-	if o.Quick {
-		nodes = 16
-		prog = apps.QuickRegistry()[0]
-	}
 	specs := fig4Specs()
+	results, err := o.run(Figure3Jobs(o))
+	if err != nil {
+		return nil, fmt.Errorf("figure3: %w", err)
+	}
 	d := &Figure3Data{
-		Modes:   []string{"base", "perfect-ifetch", "victim-cache"},
+		Modes:   figure3Modes(),
 		Speedup: make(map[string][]float64),
 		Time:    make(map[string][]sim.Cycle),
 	}
 	for _, s := range specs {
 		d.Protocols = append(d.Protocols, pointerLabel(s))
 	}
-	for _, mode := range d.Modes {
-		cfg := machine.Config{Nodes: 1, Spec: proto.FullMap()}
-		apply := func(c *machine.Config) {
-			switch mode {
-			case "perfect-ifetch":
-				c.PerfectIfetch = true
-			case "victim-cache":
-				c.VictimLines = 8
-			}
-		}
-		apply(&cfg)
-		seq, err := runApp(prog, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("figure3 seq %s: %w", mode, err)
-		}
-		for _, spec := range specs {
-			pcfg := machine.Config{Nodes: nodes, Spec: spec}
-			apply(&pcfg)
-			res, err := runApp(prog, pcfg)
-			if err != nil {
-				return nil, fmt.Errorf("figure3 %s %s: %w", mode, spec.Name, err)
-			}
+	stride := 1 + len(specs)
+	for mi, mode := range d.Modes {
+		seq := results[mi*stride]
+		for j := range specs {
+			res := results[mi*stride+1+j]
 			d.Speedup[mode] = append(d.Speedup[mode], float64(seq.Time)/float64(res.Time))
 			d.Time[mode] = append(d.Time[mode], res.Time)
 		}
@@ -382,33 +480,52 @@ type Figure4Data struct {
 	Nodes int
 }
 
+// Figure4Jobs enumerates the application studies: for each application,
+// the sequential baseline (shared with Table 3) followed by each spectrum
+// point, victim caching throughout.
+func Figure4Jobs(o Options) []sweep.Job {
+	nodes := 64
+	if o.Quick {
+		nodes = 16
+	}
+	var jobs []sweep.Job
+	for _, name := range table3Names(o) {
+		jobs = append(jobs, sweep.AppJob(name, o.Quick, machine.Config{
+			Nodes: 1, Spec: proto.FullMap(), VictimLines: 8,
+		}))
+		for _, spec := range fig4Specs() {
+			jobs = append(jobs, sweep.AppJob(name, o.Quick, machine.Config{
+				Nodes: nodes, Spec: spec, VictimLines: 8,
+			}))
+		}
+	}
+	return jobs
+}
+
 // Figure4 runs every application across the spectrum with victim caching
 // enabled (the paper's default after the TSP study), on 64 nodes (16 in
 // quick mode, with reduced problem sizes).
 func Figure4(o Options) (*Figure4Data, error) {
 	nodes := 64
-	registry := apps.Registry()
 	if o.Quick {
 		nodes = 16
-		registry = apps.QuickRegistry()
 	}
 	specs := fig4Specs()
+	results, err := o.run(Figure4Jobs(o))
+	if err != nil {
+		return nil, fmt.Errorf("figure4: %w", err)
+	}
 	d := &Figure4Data{Speedup: make(map[string][]float64), Nodes: nodes}
 	for _, s := range specs {
 		d.Protocols = append(d.Protocols, pointerLabel(s))
 	}
-	for _, prog := range registry {
-		d.Apps = append(d.Apps, prog.Name)
-		seq, err := runApp(prog, machine.Config{Nodes: 1, Spec: proto.FullMap(), VictimLines: 8})
-		if err != nil {
-			return nil, fmt.Errorf("figure4 seq %s: %w", prog.Name, err)
-		}
-		for _, spec := range specs {
-			res, err := runApp(prog, machine.Config{Nodes: nodes, Spec: spec, VictimLines: 8})
-			if err != nil {
-				return nil, fmt.Errorf("figure4 %s %s: %w", prog.Name, spec.Name, err)
-			}
-			d.Speedup[prog.Name] = append(d.Speedup[prog.Name],
+	stride := 1 + len(specs)
+	for ai, name := range table3Names(o) {
+		d.Apps = append(d.Apps, name)
+		seq := results[ai*stride]
+		for j := range specs {
+			res := results[ai*stride+1+j]
+			d.Speedup[name] = append(d.Speedup[name],
 				float64(seq.Time)/float64(res.Time))
 		}
 	}
@@ -437,26 +554,39 @@ type Figure5Data struct {
 	Nodes     int
 }
 
+// Figure5Jobs enumerates the large-machine TSP run: the sequential
+// baseline followed by each spectrum point on 256 nodes (64 in quick mode).
+func Figure5Jobs(o Options) []sweep.Job {
+	nodes := 256
+	if o.Quick {
+		nodes = 64
+	}
+	jobs := []sweep.Job{sweep.AppJob("TSP", o.Quick, machine.Config{
+		Nodes: 1, Spec: proto.FullMap(), VictimLines: 8,
+	})}
+	for _, spec := range fig4Specs() {
+		jobs = append(jobs, sweep.AppJob("TSP", o.Quick, machine.Config{
+			Nodes: nodes, Spec: spec, VictimLines: 8,
+		}))
+	}
+	return jobs
+}
+
 // Figure5 runs TSP on 256 nodes with victim caching (64 in quick mode).
 func Figure5(o Options) (*Figure5Data, error) {
 	nodes := 256
-	prog := apps.TSP(apps.DefaultTSP())
 	if o.Quick {
 		nodes = 64
-		prog = apps.QuickRegistry()[0]
 	}
-	seq, err := runApp(prog, machine.Config{Nodes: 1, Spec: proto.FullMap(), VictimLines: 8})
+	results, err := o.run(Figure5Jobs(o))
 	if err != nil {
-		return nil, fmt.Errorf("figure5 seq: %w", err)
+		return nil, fmt.Errorf("figure5: %w", err)
 	}
+	seq := results[0]
 	d := &Figure5Data{Nodes: nodes}
-	for _, spec := range fig4Specs() {
-		res, err := runApp(prog, machine.Config{Nodes: nodes, Spec: spec, VictimLines: 8})
-		if err != nil {
-			return nil, fmt.Errorf("figure5 %s: %w", spec.Name, err)
-		}
+	for j, spec := range fig4Specs() {
 		d.Protocols = append(d.Protocols, pointerLabel(spec))
-		d.Speedup = append(d.Speedup, float64(seq.Time)/float64(res.Time))
+		d.Speedup = append(d.Speedup, float64(seq.Time)/float64(results[1+j].Time))
 	}
 	return d, nil
 }
@@ -481,24 +611,29 @@ type Figure6Data struct {
 	Nodes int
 }
 
+// Figure6Jobs enumerates the single EVOLVE run behind Figure 6.
+func Figure6Jobs(o Options) []sweep.Job {
+	nodes := 64
+	if o.Quick {
+		nodes = 16
+	}
+	return []sweep.Job{sweep.AppJob("EVOLVE", o.Quick, machine.Config{
+		Nodes: nodes, Spec: proto.FullMap(), VictimLines: 8,
+	})}
+}
+
 // Figure6 runs EVOLVE on 64 nodes under the full-map protocol (which
 // tracks every worker set exactly) and collects the histogram.
 func Figure6(o Options) (*Figure6Data, error) {
 	nodes := 64
-	prog := apps.Evolve(apps.DefaultEvolve())
 	if o.Quick {
 		nodes = 16
-		prog = apps.QuickRegistry()[3]
 	}
-	m, err := machine.New(machine.Config{Nodes: nodes, Spec: proto.FullMap(), VictimLines: 8})
-	if err != nil {
-		return nil, err
-	}
-	res, _, err := prog.Run(m, 0)
+	results, err := o.run(Figure6Jobs(o))
 	if err != nil {
 		return nil, fmt.Errorf("figure6: %w", err)
 	}
-	return &Figure6Data{Hist: res.WorkerSets, Nodes: nodes}, nil
+	return &Figure6Data{Hist: results[0].WorkerSetHist(), Nodes: nodes}, nil
 }
 
 // Table renders the histogram.
@@ -524,35 +659,54 @@ type ScalingData struct {
 	Speedup map[string][]float64
 }
 
-// ScalingStudy runs TSP at increasing machine sizes across four protocol
-// spectrum points.
-func ScalingStudy(o Options) (*ScalingData, error) {
-	sizes := []int{16, 64, 256}
-	prog := apps.TSP(apps.DefaultTSP())
+// scalingShape returns the machine sizes and protocol points of the study.
+func scalingShape(o Options) (sizes []int, specs []proto.Spec) {
+	sizes = []int{16, 64, 256}
 	if o.Quick {
 		sizes = []int{4, 16}
-		prog = apps.QuickRegistry()[0]
 	}
-	specs := []proto.Spec{
+	specs = []proto.Spec{
 		proto.SoftwareOnly(),
 		proto.OnePointer(proto.AckSW),
 		proto.LimitLESS(5),
 		proto.FullMap(),
 	}
-	seq, err := runApp(prog, machine.Config{Nodes: 1, Spec: proto.FullMap(), VictimLines: 8})
-	if err != nil {
-		return nil, fmt.Errorf("scaling seq: %w", err)
+	return sizes, specs
+}
+
+// ScalingJobs enumerates the scaling study: the sequential TSP baseline
+// (shared with Table 3 and Figure 5), then each protocol at each size.
+func ScalingJobs(o Options) []sweep.Job {
+	sizes, specs := scalingShape(o)
+	jobs := []sweep.Job{sweep.AppJob("TSP", o.Quick, machine.Config{
+		Nodes: 1, Spec: proto.FullMap(), VictimLines: 8,
+	})}
+	for _, spec := range specs {
+		for _, n := range sizes {
+			jobs = append(jobs, sweep.AppJob("TSP", o.Quick, machine.Config{
+				Nodes: n, Spec: spec, VictimLines: 8,
+			}))
+		}
 	}
+	return jobs
+}
+
+// ScalingStudy runs TSP at increasing machine sizes across four protocol
+// spectrum points.
+func ScalingStudy(o Options) (*ScalingData, error) {
+	sizes, specs := scalingShape(o)
+	results, err := o.run(ScalingJobs(o))
+	if err != nil {
+		return nil, fmt.Errorf("scaling: %w", err)
+	}
+	seq := results[0]
 	d := &ScalingData{Sizes: sizes, Speedup: make(map[string][]float64)}
 	for _, s := range specs {
 		d.Protocols = append(d.Protocols, s.Name)
 	}
-	for _, spec := range specs {
-		for _, n := range sizes {
-			res, err := runApp(prog, machine.Config{Nodes: n, Spec: spec, VictimLines: 8})
-			if err != nil {
-				return nil, fmt.Errorf("scaling %s P=%d: %w", spec.Name, n, err)
-			}
+	for si, spec := range specs {
+		for ni := range sizes {
+			res := results[1+si*len(sizes)+ni]
 			d.Speedup[spec.Name] = append(d.Speedup[spec.Name],
 				float64(seq.Time)/float64(res.Time))
 		}

@@ -87,6 +87,7 @@ func DefaultConfig() *Config {
 			"swex/internal/machine",
 			"swex/internal/mc",
 			"swex/internal/trace",
+			"swex/internal/sweep",
 		},
 		FloatExemptPaths: []string{
 			"swex/internal/stats",

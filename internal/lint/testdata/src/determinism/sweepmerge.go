@@ -1,0 +1,17 @@
+package determinism
+
+import "fmt"
+
+// sweepMerge models the sweep-orchestrator bug the determinism analyzer
+// must catch: merging a worker pool's results by ranging over the
+// hash-indexed map directly. The merge order would follow map iteration
+// order — different every run — so the sweep report would stop being
+// byte-identical to a serial run. The real runner merges by submission
+// index; a map-keyed merge must collect and sort (see sortedCollect).
+func sweepMerge(byHash map[string]uint64) string {
+	out := ""
+	for hash, cycles := range byHash { // want "range over map"
+		out += fmt.Sprintf("%s %d\n", hash, cycles)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+// Package sweep is the experiment orchestrator: a deterministic parallel
+// job runner for simulation sweeps with a content-addressed result cache
+// and a crash-safe manifest journal.
+//
+// The paper's evaluation is a large matrix of independent NWO runs — six
+// applications plus WORKER across the whole protocol spectrum on machines
+// of 16 to 256 nodes — that cost the authors machine-months of serial
+// simulation. Every point in that matrix is an isolated, deterministic
+// computation: a (program, machine configuration) pair that always
+// produces the same result. That makes the matrix embarrassingly parallel
+// and perfectly cacheable, and this package exploits both properties:
+//
+//   - a Job is a canonical, hashable description of one run;
+//   - a Runner executes jobs on a bounded worker pool with per-job panic
+//     recovery, cycle/wall budgets, a retry policy, and context
+//     cancellation, merging results back in submission (matrix) order so
+//     sweep output is byte-identical to a serial run at any worker count;
+//   - a Cache persists each finished result under the SHA-256 of its
+//     job key, journaled in an append-only JSONL manifest, so a killed
+//     sweep resumes by skipping finished jobs and an unchanged matrix
+//     re-runs as pure cache hits.
+//
+// The package is part of the lint-enforced simulation core: everything
+// outside the explicitly annotated worker-pool handoff follows the
+// determinism contract.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"swex/internal/apps"
+	"swex/internal/machine"
+	"swex/internal/sim"
+)
+
+// WorkerName is the ProgramRef.App value naming the WORKER synthetic
+// benchmark (paper Section 5). The six applications use their paper names.
+const WorkerName = "WORKER"
+
+// codeVersion salts every job key. Bump it whenever a change alters
+// simulation results (cycle counts, handler accounting, protocol
+// behavior), so stale cache entries from the previous semantics can never
+// satisfy a new sweep. Purely additive changes (new fields captured into
+// Result) also require a bump, since cached objects would lack them.
+const codeVersion = "swex-sim-v1"
+
+// ProgramRef names a workload canonically, so a job can be hashed,
+// journaled, and re-resolved in a later process.
+type ProgramRef struct {
+	// App is WorkerName or one of the paper names in apps.Registry
+	// (TSP, AQ, SMGRID, EVOLVE, MP3D, WATER).
+	App string
+	// Quick selects the reduced problem size from apps.QuickRegistry.
+	// Ignored for WORKER, whose size is explicit.
+	Quick bool
+	// SetSize and Iters are the WORKER parameters (App == WorkerName).
+	SetSize int
+	Iters   int
+}
+
+// Resolve looks the reference up in the application registry.
+func (p ProgramRef) Resolve() (apps.Program, error) {
+	if p.App == WorkerName {
+		if p.SetSize <= 0 || p.Iters <= 0 {
+			return apps.Program{}, fmt.Errorf("sweep: WORKER job needs positive SetSize and Iters (got %d, %d)", p.SetSize, p.Iters)
+		}
+		return apps.Worker(apps.WorkerParams{SetSize: p.SetSize, Iters: p.Iters}), nil
+	}
+	registry := apps.Registry()
+	if p.Quick {
+		registry = apps.QuickRegistry()
+	}
+	for _, prog := range registry {
+		if prog.Name == p.App {
+			return prog, nil
+		}
+	}
+	return apps.Program{}, fmt.Errorf("sweep: unknown application %q", p.App)
+}
+
+// Job is one point of an experiment matrix: a workload on a machine
+// configuration, with an optional per-job simulated-cycle budget. Two jobs
+// with equal keys describe the same computation and share a cache entry.
+type Job struct {
+	Program ProgramRef
+	Config  machine.Config
+	// Limit bounds the run in simulated cycles (0 = the runner default, or
+	// unbounded). Exceeding it records a failure, not a hang.
+	Limit sim.Cycle
+}
+
+// WorkerJob builds a WORKER job.
+func WorkerJob(setSize, iters int, cfg machine.Config) Job {
+	return Job{
+		Program: ProgramRef{App: WorkerName, SetSize: setSize, Iters: iters},
+		Config:  cfg,
+	}
+}
+
+// AppJob builds a job for one of the six applications by paper name.
+func AppJob(name string, quick bool, cfg machine.Config) Job {
+	return Job{Program: ProgramRef{App: name, Quick: quick}, Config: cfg}
+}
+
+// Key renders the job as a canonical string: every field that influences
+// the simulation outcome, in a fixed order, plus the code-version salt.
+// Configurations that cannot be described canonically (an installed trace
+// sink or custom protocol software) are rejected — their behavior is not
+// captured by the key, so caching them would alias distinct computations.
+func (j Job) Key(salt string) (string, error) {
+	if j.Config.Trace != nil {
+		return "", fmt.Errorf("sweep: job %s has a trace sink installed; traced runs are not cacheable", j.Program.App)
+	}
+	if j.Config.CustomSoftware != nil {
+		return "", fmt.Errorf("sweep: job %s has custom protocol software installed; its identity cannot be hashed", j.Program.App)
+	}
+	if strings.ContainsAny(j.Program.App, "|=") {
+		return "", fmt.Errorf("sweep: program name %q contains key metacharacters", j.Program.App)
+	}
+	c := j.Config
+	s := c.Spec
+	t := c.Timing
+	var b strings.Builder
+	put := func(field string, v any) {
+		fmt.Fprintf(&b, "|%s=%v", field, v)
+	}
+	b.WriteString(codeVersion)
+	put("salt", salt)
+	put("app", j.Program.App)
+	put("quick", j.Program.Quick)
+	put("set", j.Program.SetSize)
+	put("iters", j.Program.Iters)
+	put("nodes", c.Nodes)
+	put("spec", s.Name)
+	put("hw", s.HWPointers)
+	put("fullmap", s.FullMap)
+	put("localbit", s.LocalBit)
+	put("ack", int(s.AckMode))
+	put("bcast", s.Broadcast)
+	put("swonly", s.SoftwareOnly)
+	put("soft", int(c.Software))
+	put("victim", c.VictimLines)
+	put("pifetch", c.PerfectIfetch)
+	put("batch", c.BatchReads)
+	put("parinv", c.ParallelInv)
+	put("mig", c.MigratoryDetect)
+	put("threads", c.ThreadsPerNode)
+	put("clines", c.CacheLines)
+	put("cways", c.CacheWays)
+	put("tmem", int64(t.MemLatency))
+	put("thome", int64(t.HomeProc))
+	put("tfill", int64(t.CacheFill))
+	put("tretry", int64(t.RetryDelay))
+	put("freq", t.ReqFlits)
+	put("fdata", t.DataFlits)
+	put("fctl", t.CtlFlits)
+	put("limit", int64(j.Limit))
+	return b.String(), nil
+}
+
+// HashKey returns the content address of a canonical key: the hex SHA-256.
+func HashKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,86 @@
+package sweep
+
+import (
+	"swex/internal/machine"
+	"swex/internal/sim"
+	"swex/internal/stats"
+)
+
+// Breakdown mirrors stats.Breakdown as a plain activity-indexed array, so
+// cached results round-trip through JSON (stats.Breakdown's custom
+// marshaler renders the paper's table layout and is not reversible).
+type Breakdown [stats.NumActivities]uint64
+
+// Stats converts back to the statistics package's representation.
+func (b Breakdown) Stats() stats.Breakdown { return stats.Breakdown(b) }
+
+// HistBucket is one bucket of a worker-set-size histogram.
+type HistBucket struct {
+	Size  int
+	Count uint64
+}
+
+// Result is the serializable summary of one finished job: everything the
+// paper's tables and figures consume, detached from the live machine so it
+// can be cached on disk and merged across processes.
+type Result struct {
+	// Time is the parallel run time in simulated cycles.
+	Time sim.Cycle
+	// Traps, HandlerCycles, Messages, and BusyRetries mirror
+	// machine.Result.
+	Traps         uint64
+	HandlerCycles sim.Cycle
+	Messages      uint64
+	BusyRetries   uint64
+	// ReadMean .. LocalMean are the ledger's average software-handler
+	// latencies per request kind across all sharer counts (Table 1).
+	ReadMean, WriteMean, AckMean, LocalMean float64
+	// ReadMedian/WriteMedian are the median handler breakdowns (Table 2);
+	// the Has flags distinguish "no records" from a zero breakdown.
+	ReadMedian, WriteMedian       Breakdown
+	HasReadMedian, HasWriteMedian bool
+	// WorkerSets is the per-block maximum worker-set histogram (Figure 6),
+	// in ascending bucket order.
+	WorkerSets []HistBucket
+}
+
+// CaptureResult distills a live machine.Result into the cacheable form.
+func CaptureResult(res machine.Result) Result {
+	out := Result{
+		Time:          res.Time,
+		Traps:         res.Traps,
+		HandlerCycles: res.HandlerCycles,
+		Messages:      res.Messages,
+		BusyRetries:   res.BusyRetries,
+	}
+	if res.Ledger != nil {
+		out.ReadMean = res.Ledger.Mean(stats.ReadRequest, -1)
+		out.WriteMean = res.Ledger.Mean(stats.WriteRequest, -1)
+		out.AckMean = res.Ledger.Mean(stats.AckRequest, -1)
+		out.LocalMean = res.Ledger.Mean(stats.LocalRequest, -1)
+		if rec, ok := res.Ledger.Median(stats.ReadRequest, -1); ok {
+			out.ReadMedian, out.HasReadMedian = Breakdown(rec.Breakdown), true
+		}
+		if rec, ok := res.Ledger.Median(stats.WriteRequest, -1); ok {
+			out.WriteMedian, out.HasWriteMedian = Breakdown(rec.Breakdown), true
+		}
+	}
+	if res.WorkerSets != nil {
+		for _, size := range res.WorkerSets.Buckets() {
+			out.WorkerSets = append(out.WorkerSets, HistBucket{
+				Size:  size,
+				Count: res.WorkerSets.Count(size),
+			})
+		}
+	}
+	return out
+}
+
+// WorkerSetHist rebuilds the histogram object from the cached buckets.
+func (r Result) WorkerSetHist() *stats.Hist {
+	h := stats.NewHist()
+	for _, b := range r.WorkerSets {
+		h.AddN(b.Size, b.Count)
+	}
+	return h
+}

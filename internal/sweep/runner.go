@@ -1,0 +1,371 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	//lint:allow determinism(wall budgets bound real execution time of runaway jobs; simulated results never depend on it)
+	"time"
+
+	"swex/internal/machine"
+	"swex/internal/sim"
+)
+
+// Config parameterizes a Runner.
+type Config struct {
+	// Workers bounds simultaneous simulations (<= 0 means GOMAXPROCS).
+	Workers int
+	// CacheDir, when non-empty, opens a content-addressed disk cache
+	// there; completed jobs persist and sweeps resume across processes.
+	CacheDir string
+	// Salt is extra key material mixed into every job hash, for isolating
+	// experimental branches that share a cache directory.
+	Salt string
+	// CycleBudget is the default per-job simulated-cycle limit applied
+	// when Job.Limit is zero (0 = unbounded). A job exceeding its budget
+	// becomes a failure record, not a hung sweep.
+	CycleBudget sim.Cycle
+	// WallBudget, when positive, marks any job whose execution took
+	// longer than this wall-clock duration as failed. It cannot preempt a
+	// running simulation (use CycleBudget for that); it exists to flag
+	// pathological configurations in long unattended sweeps. Wall-budget
+	// failures depend on machine speed and are therefore the one
+	// intentionally nondeterministic feature of the runner; leave it zero
+	// when byte-identical sweep reports matter.
+	WallBudget time.Duration
+	// Retries is how many times a failed job is re-executed before its
+	// failure is recorded (panics included; the simulator is
+	// deterministic, so this matters mainly for wall-budget and
+	// resource-exhaustion failures).
+	Retries int
+	// OnExecute, when set, is called once per actual simulation execution
+	// (not per cache hit), before the run starts. It is the test hook for
+	// asserting execution counts; it runs on worker goroutines and must
+	// be safe for concurrent use.
+	OnExecute func(Job)
+}
+
+// Runner executes job matrices. It memoizes results in process, optionally
+// persists them through a Cache, and is safe for use from one goroutine at
+// a time (the worker pool is internal).
+type Runner struct {
+	cfg   Config
+	cache *Cache
+
+	mu    sync.Mutex
+	memo  map[string]Result // key hash -> finished result
+	execs map[string]int    // key hash -> simulation executions
+	total int
+}
+
+// NewRunner builds a runner, opening the disk cache when configured.
+func NewRunner(cfg Config) (*Runner, error) {
+	r := &Runner{
+		cfg:   cfg,
+		memo:  make(map[string]Result),
+		execs: make(map[string]int),
+	}
+	if cfg.CacheDir != "" {
+		c, err := OpenCache(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		r.cache = c
+	}
+	return r, nil
+}
+
+// MustNewRunner is NewRunner for configurations that cannot fail (no disk
+// cache).
+func MustNewRunner(cfg Config) *Runner {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("sweep: runner construction failed: %v", err))
+	}
+	return r
+}
+
+// Close releases the disk cache, if any.
+func (r *Runner) Close() error {
+	if r.cache == nil {
+		return nil
+	}
+	return r.cache.Close()
+}
+
+// Cache exposes the runner's disk cache (nil when memory-only).
+func (r *Runner) Cache() *Cache { return r.cache }
+
+// Workers reports the effective worker count.
+func (r *Runner) Workers() int {
+	if r.cfg.Workers > 0 {
+		return r.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Outcome is the per-job verdict of a sweep, in submission order.
+type Outcome struct {
+	Job Job
+	// Key and Hash identify the job in the cache and journal. Empty Key
+	// means the job description itself was invalid.
+	Key  string
+	Hash string
+	// Result is valid when Err is nil.
+	Result Result
+	// Err records an invalid description, a panic, a budget violation, a
+	// simulation error, or context cancellation.
+	Err error
+	// Cached marks results served without executing a simulation (from
+	// the in-process memo or the disk cache).
+	Cached bool
+	// CacheErr records a failure to persist an otherwise valid result;
+	// Result still holds.
+	CacheErr error
+}
+
+// String names a job for error messages.
+func (j Job) String() string {
+	return fmt.Sprintf("%s(set=%d,iters=%d,quick=%v) on %d nodes under %s",
+		j.Program.App, j.Program.SetSize, j.Program.Iters, j.Program.Quick,
+		j.Config.Nodes, j.Config.Spec.Name)
+}
+
+// Sweep executes the matrix and returns one outcome per job, index-aligned
+// with the input. Identical jobs are executed once and fanned out, results
+// are merged in submission order, and the output is a pure function of the
+// job list — byte-identical at any worker count, with or without a warm
+// cache — except where WallBudget introduces machine-speed failures.
+func (r *Runner) Sweep(ctx context.Context, jobs []Job) []Outcome {
+	outcomes := make([]Outcome, len(jobs))
+
+	// Resolve canonical identities and deduplicate: one task per distinct
+	// key hash, in first-occurrence order.
+	type task struct {
+		key     string
+		hash    string
+		job     Job
+		indices []int
+	}
+	var tasks []*task
+	byHash := make(map[string]*task)
+	for i, job := range jobs {
+		outcomes[i].Job = job
+		key, err := job.Key(r.cfg.Salt)
+		if err != nil {
+			outcomes[i].Err = err
+			continue
+		}
+		hash := HashKey(key)
+		outcomes[i].Key, outcomes[i].Hash = key, hash
+		if t, ok := byHash[hash]; ok {
+			t.indices = append(t.indices, i)
+			continue
+		}
+		t := &task{key: key, hash: hash, job: job, indices: []int{i}}
+		byHash[hash] = t
+		tasks = append(tasks, t)
+	}
+
+	// Serve memo and disk-cache hits without scheduling.
+	var pending []*task
+	for _, t := range tasks {
+		if res, ok := r.lookup(t.key, t.hash); ok {
+			for _, i := range t.indices {
+				outcomes[i].Result, outcomes[i].Cached = res, true
+			}
+			continue
+		}
+		pending = append(pending, t)
+	}
+
+	// Execute the remainder on the pool and fan each verdict out.
+	results := make([]Outcome, len(pending))
+	runPool(r.Workers(), len(pending), func(ti int) {
+		t := pending[ti]
+		o := &results[ti]
+		if err := ctx.Err(); err != nil {
+			o.Err = err
+			return
+		}
+		res, err := r.executeWithRetry(t.job, t.key)
+		if err != nil {
+			o.Err = err
+			if r.cache != nil {
+				o.CacheErr = r.cache.PutFailure(t.key, err)
+			}
+			return
+		}
+		o.Result = res
+		r.mu.Lock()
+		r.memo[t.hash] = res
+		r.mu.Unlock()
+		if r.cache != nil {
+			o.CacheErr = r.cache.Put(t.key, res)
+		}
+	})
+	for ti, t := range pending {
+		for _, i := range t.indices {
+			outcomes[i].Result = results[ti].Result
+			outcomes[i].Err = results[ti].Err
+			outcomes[i].CacheErr = results[ti].CacheErr
+		}
+	}
+	return outcomes
+}
+
+// Run is Sweep with fail-fast semantics: it returns the results in
+// submission order, or the first failure (by submission order, so the
+// error is deterministic too).
+func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	outcomes := r.Sweep(ctx, jobs)
+	results := make([]Result, len(outcomes))
+	for i, o := range outcomes {
+		if o.Err != nil {
+			return nil, fmt.Errorf("sweep: job %d (%s): %w", i, o.Job, o.Err)
+		}
+		results[i] = o.Result
+	}
+	return results, nil
+}
+
+// lookup consults the in-process memo, then the disk cache (promoting disk
+// hits into the memo).
+func (r *Runner) lookup(key, hash string) (Result, bool) {
+	r.mu.Lock()
+	res, ok := r.memo[hash]
+	r.mu.Unlock()
+	if ok {
+		return res, true
+	}
+	if r.cache == nil {
+		return Result{}, false
+	}
+	res, ok = r.cache.Get(key)
+	if ok {
+		r.mu.Lock()
+		r.memo[hash] = res
+		r.mu.Unlock()
+	}
+	return res, ok
+}
+
+// executeWithRetry applies the retry policy around single executions.
+func (r *Runner) executeWithRetry(job Job, key string) (Result, error) {
+	var lastErr error
+	for attempt := 0; attempt <= r.cfg.Retries; attempt++ {
+		res, err := r.executeOnce(job, key)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+	}
+	if r.cfg.Retries > 0 {
+		lastErr = fmt.Errorf("%w (after %d attempts)", lastErr, r.cfg.Retries+1)
+	}
+	return Result{}, lastErr
+}
+
+// executeOnce runs one simulation under panic recovery and the budgets.
+func (r *Runner) executeOnce(job Job, key string) (res Result, err error) {
+	defer func() {
+		//lint:allow panic-hygiene(a panicking simulation must become a failure record, not a crashed sweep; the stack is preserved in the error)
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("sweep: job panicked: %v\n%s", rec, debug.Stack())
+		}
+	}()
+	r.mu.Lock()
+	hash := HashKey(key)
+	r.execs[hash]++
+	r.total++
+	r.mu.Unlock()
+	if r.cfg.OnExecute != nil {
+		r.cfg.OnExecute(job)
+	}
+
+	prog, err := job.Program.Resolve()
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := machine.New(job.Config)
+	if err != nil {
+		return Result{}, err
+	}
+	limit := job.Limit
+	if limit == 0 {
+		limit = r.cfg.CycleBudget
+	}
+	var start time.Time
+	if r.cfg.WallBudget > 0 {
+		start = time.Now()
+	}
+	mres, _, err := prog.Run(m, limit)
+	if err != nil {
+		return Result{}, err
+	}
+	if r.cfg.WallBudget > 0 {
+		if elapsed := time.Since(start); elapsed > r.cfg.WallBudget {
+			return Result{}, fmt.Errorf("sweep: job exceeded wall budget (%v > %v)", elapsed, r.cfg.WallBudget)
+		}
+	}
+	return CaptureResult(mres), nil
+}
+
+// ExecCount reports how many times the job's simulation actually ran under
+// this runner (cache hits do not count). Invalid jobs report zero.
+func (r *Runner) ExecCount(job Job) int {
+	key, err := job.Key(r.cfg.Salt)
+	if err != nil {
+		return 0
+	}
+	hash := HashKey(key)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.execs[hash]
+}
+
+// TotalExecs reports the runner-wide simulation execution count.
+func (r *Runner) TotalExecs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// runPool distributes task indices 0..n-1 over a fixed worker pool. Work
+// is handed out through an atomic counter, so no channels are involved and
+// the only scheduler freedom is which worker runs which task — invisible
+// in the output, which is merged by task index.
+func runPool(workers, n int, run func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//lint:allow determinism(worker-pool handoff: results are merged by task index, so scheduling cannot reach the output)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

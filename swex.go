@@ -35,6 +35,7 @@ import (
 	"swex/internal/proto"
 	"swex/internal/sim"
 	"swex/internal/stats"
+	"swex/internal/sweep"
 	"swex/internal/trace"
 )
 
@@ -157,3 +158,43 @@ func NewTraceCollector() *TraceCollector { return trace.NewCollector() }
 
 // NewTraceRing returns a bounded trace sink keeping the last limit events.
 func NewTraceRing(limit int) *TraceCollector { return trace.NewRing(limit) }
+
+// Sweeper is the parallel experiment orchestrator: it executes matrices of
+// simulation jobs on a worker pool, deduplicates identical points, and —
+// when configured with a cache directory — persists every finished result
+// in a content-addressed store with a crash-safe manifest journal, so
+// killed sweeps resume and unchanged matrices re-run as pure cache hits.
+// Results merge in submission order, so sweep output is byte-identical to
+// a serial run at any worker count. See internal/sweep.
+type Sweeper = sweep.Runner
+
+// SweeperConfig selects worker count, cache directory, budgets, and the
+// retry policy of a Sweeper.
+type SweeperConfig = sweep.Config
+
+// SweepJob is one point of an experiment matrix: a canonical, hashable
+// description of a single simulation run.
+type SweepJob = sweep.Job
+
+// SweepResult is the cacheable summary of one finished job.
+type SweepResult = sweep.Result
+
+// SweepOutcome is the per-job verdict of a Sweeper.Sweep call.
+type SweepOutcome = sweep.Outcome
+
+// NewSweeper builds a sweep runner (opening the disk cache when
+// SweeperConfig.CacheDir is set). Pass it through Options.Sweep to share
+// one result cache across experiments, or call its Run/Sweep methods with
+// jobs built by SweepWorkerJob / SweepAppJob or the XxxJobs experiment
+// matrix builders.
+func NewSweeper(cfg SweeperConfig) (*Sweeper, error) { return sweep.NewRunner(cfg) }
+
+// SweepWorkerJob builds a WORKER job for a sweep matrix.
+func SweepWorkerJob(setSize, iters int, cfg MachineConfig) SweepJob {
+	return sweep.WorkerJob(setSize, iters, cfg)
+}
+
+// SweepAppJob builds an application job (by paper name) for a sweep matrix.
+func SweepAppJob(name string, quick bool, cfg MachineConfig) SweepJob {
+	return sweep.AppJob(name, quick, cfg)
+}
