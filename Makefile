@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet race check mc mc-smoke bench bench-sweep trace-smoke sweep-smoke
+.PHONY: all build test lint vet race check mc mc-smoke mc-por-smoke bench bench-sweep trace-smoke sweep-smoke
 
 all: build test
 
@@ -28,19 +28,35 @@ vet:
 race:
 	$(GO) test -race ./internal/sim/... ./internal/mesh/... ./internal/sweep/...
 
-# mc exhausts the model checker's full-depth configuration over the whole
-# protocol spectrum: every interleaving of 4 operations on 2 nodes and of
-# 3 operations on 3 nodes. Minutes of work; run before protocol changes.
+# mc exhausts the model checker's full-depth configurations over the
+# whole protocol spectrum, with sleep-set partial-order reduction on
+# (each line prints the pruned-edge count; POR preserves every verdict
+# and every quiescent state — TestPOREquivalence is the proof). The
+# reduction is what makes the deep configurations (4 nodes x 2 blocks,
+# 3 nodes x 3 blocks, 3 ops) exhaustible: unreduced, the software-only
+# protocol at 3x3 blows through the default state bound. ~10 minutes of
+# work; run before protocol changes.
 mc:
-	$(GO) run ./cmd/swexmc -nodes 2 -blocks 1 -ops 4
-	$(GO) run ./cmd/swexmc -nodes 3 -blocks 1 -ops 3
-	$(GO) run ./cmd/swexmc -nodes 2 -blocks 2 -ops 3
-	$(GO) run ./cmd/swexmc -nodes 3 -blocks 1 -ops 3 -mig -batch
+	$(GO) run ./cmd/swexmc -por -nodes 2 -blocks 1 -ops 4
+	$(GO) run ./cmd/swexmc -por -nodes 3 -blocks 1 -ops 3
+	$(GO) run ./cmd/swexmc -por -nodes 2 -blocks 2 -ops 3
+	$(GO) run ./cmd/swexmc -por -nodes 2 -blocks 2 -ops 3 -watch
+	$(GO) run ./cmd/swexmc -por -nodes 4 -blocks 2 -ops 3
+	$(GO) run ./cmd/swexmc -por -nodes 3 -blocks 3 -ops 3
+	$(GO) run ./cmd/swexmc -por -nodes 3 -blocks 1 -ops 3 -mig -batch
 
 # mc-smoke is the bounded model-checking run wired into `make check`: the
-# 2-node spectrum sweep with golden reachable-state counts.
+# 2-node spectrum sweep with golden reachable-state counts, POR off (the
+# goldens pin the *unreduced* state space).
 mc-smoke:
 	$(GO) test ./internal/mc/
+
+# mc-por-smoke pins the reduced runs: golden state/transition/slept
+# counts for two fast POR configurations, plus the POR-vs-full
+# equivalence sweep and the deliberately-unsound-relation fixture that
+# proves the equivalence criteria have teeth.
+mc-por-smoke:
+	$(GO) test ./internal/mc/ -run 'TestPOR'
 
 # bench runs every benchmark once and regenerates the committed baseline.
 # The baseline pins benchmark *structure* (names, metric kinds) and gives
@@ -75,4 +91,4 @@ trace-smoke:
 	$(GO) run ./cmd/swextrace -worker 4 -iters 2 -nodes 4 -protocol h2 -o /tmp/swextrace-smoke.json
 	$(GO) run ./cmd/swextrace profile -worker 4 -iters 2 -nodes 4 -protocol h2 >/dev/null
 
-check: vet lint test race mc-smoke trace-smoke sweep-smoke
+check: vet lint test race mc-smoke mc-por-smoke trace-smoke sweep-smoke

@@ -1,21 +1,28 @@
 // Command swexmc exhaustively model-checks the coherence protocol
 // spectrum. It explores every interleaving of a small action alphabet
-// (per-node read, write, evict, check-in) on a small machine built from
-// the real simulator stack, asserting the coherence invariants — single
-// writer, identical readers, directory–cache agreement, quiescence — on
-// every reachable state.
+// (per-node read, write, evict, CICO check-in/check-out, and optionally
+// watch) on a small machine built from the real simulator stack,
+// asserting the coherence invariants — single writer, identical readers,
+// directory–cache agreement, quiescence, no lost wakeups — on every
+// reachable state.
 //
 // Usage:
 //
-//	swexmc [-spec all] [-nodes 2] [-blocks 1] [-ops 4] [-dfs]
-//	       [-mig] [-batch] [-max-states N] [-drop-inv N]
+//	swexmc [-spec all] [-nodes 2] [-blocks 1] [-ops 4] [-dfs] [-por]
+//	       [-watch] [-configure spec,spec,...] [-mig] [-batch]
+//	       [-max-states N] [-drop-inv N]
 //
 // With -spec all (the default) every protocol in the paper's spectrum is
-// checked, plus the Dir1SW cooperative-shared-memory variant. -drop-inv N
-// seeds a protocol bug — the Nth invalidation message is silently dropped
-// — and the checker finds the shortest interleaving that turns the lost
-// message into an invariant violation, demonstrating the counterexample
-// machinery.
+// checked, plus the Dir1SW cooperative-shared-memory variant. -watch adds
+// the producer–consumer pair to the alphabet. -configure gives block i
+// the i-th named protocol as a per-block override (an empty element keeps
+// the machine default), checking a mixed-spec machine. -por enables
+// sleep-set partial-order reduction, which preserves every verdict and
+// every quiescent state while pruning equivalent interleavings; the
+// pruned-edge count is printed per run. -drop-inv N seeds a protocol bug
+// — the Nth invalidation message is silently dropped — and the checker
+// finds the shortest interleaving that turns the lost message into an
+// invariant violation, demonstrating the counterexample machinery.
 //
 // Exit status: 0 when every checked protocol satisfies the invariants,
 // 1 when a violation was found (the counterexample is printed), 2 on
@@ -39,6 +46,9 @@ func main() {
 	ops := flag.Int("ops", 4, "operation budget per trace (exploration depth)")
 	maxStates := flag.Int("max-states", 0, "visited-set bound (0 = package default)")
 	dfs := flag.Bool("dfs", false, "explore depth-first instead of breadth-first")
+	por := flag.Bool("por", false, "enable sleep-set partial-order reduction (BFS only)")
+	watch := flag.Bool("watch", false, "add the watch action (producer-consumer pairs) to the alphabet")
+	configure := flag.String("configure", "", "comma-separated per-block protocol overrides; empty element keeps the machine default")
 	mig := flag.Bool("mig", false, "enable migratory-data detection on the checked machine")
 	batch := flag.Bool("batch", false, "enable read-burst batching on the checked machine")
 	dropInv := flag.Int("drop-inv", 0, "seed a bug: silently drop the Nth invalidation message")
@@ -54,6 +64,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "swexmc: %v\n", err)
 		os.Exit(2)
 	}
+	overrides, err := resolveOverrides(*configure)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swexmc: %v\n", err)
+		os.Exit(2)
+	}
 
 	for _, s := range specs {
 		cfg := mc.Config{
@@ -63,6 +78,9 @@ func main() {
 			MaxOps:          *ops,
 			MaxStates:       *maxStates,
 			DFS:             *dfs,
+			POR:             *por,
+			Watch:           *watch,
+			Overrides:       overrides,
 			MigratoryDetect: *mig,
 			BatchReads:      *batch,
 		}
@@ -78,8 +96,12 @@ func main() {
 		if res.Bounded {
 			bounded = " (bounded: state space not exhausted)"
 		}
-		fmt.Printf("%-14s %8d states %9d transitions  depth %3d  %6d quiescent%s\n",
-			s.Name, res.States, res.Transitions, res.MaxDepth, res.Quiescent, bounded)
+		reduced := ""
+		if *por {
+			reduced = fmt.Sprintf("  %7d slept", res.SleptTransitions)
+		}
+		fmt.Printf("%-14s %8d states %9d transitions  depth %3d  %6d quiescent%s%s\n",
+			s.Name, res.States, res.Transitions, res.MaxDepth, res.Quiescent, reduced, bounded)
 		if res.Violation != nil {
 			fmt.Printf("VIOLATION %s\n", res.Violation)
 			text, err := mc.Explain(cfg, res.Violation)
@@ -109,6 +131,32 @@ func resolveSpecs(name string) ([]proto.Spec, error) {
 		names = append(names, s.Name)
 	}
 	return nil, fmt.Errorf("unknown protocol %q; known: %s, all", name, strings.Join(names, ", "))
+}
+
+// resolveOverrides parses the -configure flag into per-block protocol
+// overrides: element i applies to block i; an empty element keeps the
+// machine default (encoded as a zero Spec, which Config.blockSpec skips).
+func resolveOverrides(arg string) ([]proto.Spec, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var out []proto.Spec
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			out = append(out, proto.Spec{})
+			continue
+		}
+		specs, err := resolveSpecs(name)
+		if err != nil {
+			return nil, fmt.Errorf("-configure: %v", err)
+		}
+		if len(specs) != 1 {
+			return nil, fmt.Errorf("-configure: %q names %d protocols; overrides need exactly one each", name, len(specs))
+		}
+		out = append(out, specs[0])
+	}
+	return out, nil
 }
 
 // dropNthInv builds a per-world fault filter that silently drops the Nth

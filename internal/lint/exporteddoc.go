@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// ExportedDoc enforces the documentation bar on the packages listed in
+// Config.DocPaths: every exported identifier — package-level types,
+// functions, constants, variables, methods on exported types, exported
+// struct fields, and interface methods — must carry a doc comment, and
+// the package itself must have a package overview (conventionally in a
+// doc.go). The audited packages are the ones whose exported surface
+// embodies a determinism contract (the model checker, the sweep
+// orchestrator, the tracer): their doc comments are where the contract
+// is stated, so an undocumented export is a contract hole, not a style
+// nit.
+//
+// The comment must mention the identifier it documents (the godoc
+// convention, "Foo does ..."), which keeps copy-pasted or drifted
+// comments from satisfying the rule. Only doc comments — the block above
+// the declaration — count; godoc's trailing same-line style is rejected,
+// because a one-line margin note has no room to state a contract.
+type ExportedDoc struct{}
+
+// Name implements Analyzer.
+func (ExportedDoc) Name() string { return "exporteddoc" }
+
+// Check implements Analyzer.
+func (ExportedDoc) Check(cfg *Config, pkg *Package) []Diagnostic {
+	if !matchAny(cfg.DocPaths, pkg.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	diag := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(n.Pos()),
+			Analyzer: "exporteddoc",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	hasPkgDoc := false
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc && len(pkg.Files) > 0 {
+		diag(pkg.Files[0].Name, "package %s has no package doc comment; add a doc.go overview stating the package's determinism contract", pkg.Types.Name())
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(diag, pkg, d)
+			case *ast.GenDecl:
+				checkGenDoc(diag, d)
+			}
+		}
+	}
+	return diags
+}
+
+// checkFuncDoc reports an exported function or a method on an exported
+// receiver type that lacks a doc comment mentioning its name.
+func checkFuncDoc(diag func(ast.Node, string, ...any), pkg *Package, d *ast.FuncDecl) {
+	if !d.Name.IsExported() {
+		return
+	}
+	kind := "function"
+	if d.Recv != nil {
+		kind = "method"
+		if base := receiverBase(d.Recv); base != "" && !ast.IsExported(base) {
+			return // methods on unexported types are not part of the API surface
+		}
+	}
+	requireDoc(diag, d.Name, d.Doc, kind, d.Name.Name)
+}
+
+// checkGenDoc walks an exported type, const, or var declaration,
+// including struct fields and interface methods of exported types.
+func checkGenDoc(diag func(ast.Node, string, ...any), d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			doc := s.Doc
+			if doc == nil && len(d.Specs) == 1 {
+				doc = d.Doc // a single-spec decl's doc documents the spec
+			}
+			requireDoc(diag, s.Name, doc, "type", s.Name.Name)
+			switch t := s.Type.(type) {
+			case *ast.StructType:
+				checkFieldDocs(diag, t.Fields, "field")
+			case *ast.InterfaceType:
+				checkFieldDocs(diag, t.Methods, "interface method")
+			}
+		case *ast.ValueSpec:
+			// A doc comment on the grouped declaration covers every spec in
+			// the group (the "const ( ... )" block idiom); otherwise each
+			// exported name needs its own.
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if s.Doc != nil {
+					continue
+				}
+				if d.Doc == nil || strings.TrimSpace(d.Doc.Text()) == "" {
+					diag(name, "exported %s %s has no doc comment (neither on the name nor on its declaration group)", declKind(d), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkFieldDocs reports exported struct fields or interface methods that
+// lack a doc comment.
+func checkFieldDocs(diag func(ast.Node, string, ...any), fields *ast.FieldList, kind string) {
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		if f.Doc != nil {
+			continue
+		}
+		for _, name := range f.Names {
+			if name.IsExported() {
+				diag(name, "exported %s %s has no doc comment", kind, name.Name)
+			}
+		}
+	}
+}
+
+// requireDoc reports the identifier when doc is missing, and when the doc
+// text never mentions the identifier (a drifted or copy-pasted comment).
+func requireDoc(diag func(ast.Node, string, ...any), name *ast.Ident, doc *ast.CommentGroup, kind, ident string) {
+	if doc == nil || strings.TrimSpace(doc.Text()) == "" {
+		diag(name, "exported %s %s has no doc comment; state what it does and its determinism contract", kind, ident)
+		return
+	}
+	if !strings.Contains(doc.Text(), ident) {
+		diag(name, "doc comment on exported %s %s never mentions %q; godoc convention is \"%s ...\"", kind, ident, ident, ident)
+	}
+}
+
+// receiverBase extracts the receiver's base type name ("T" from "t *T").
+func receiverBase(recv *ast.FieldList) string {
+	if len(recv.List) != 1 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// declKind names a GenDecl's token for diagnostics ("const", "var").
+func declKind(d *ast.GenDecl) string { return d.Tok.String() }

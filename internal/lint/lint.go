@@ -7,7 +7,7 @@
 // one range over a Go map in the simulation core — so this package turns
 // the conventions into machine-checked rules.
 //
-// Four analyzers ship:
+// Five analyzers ship:
 //
 //   - determinism: no wall-clock time, no global math/rand, no goroutines,
 //     selects, or channel operations, and no unsorted map iteration inside
@@ -18,6 +18,10 @@
 //     outside the statistics/reporting packages.
 //   - panic-hygiene: panics carry constant, package-prefixed messages
 //     (diagnosable invariant reports), and recover never hides one.
+//   - exporteddoc: every exported identifier in the audited packages
+//     (Config.DocPaths) carries a doc comment mentioning it, and each
+//     package has a package overview — the doc comments are where those
+//     packages' determinism contracts are stated.
 //
 // A violating line can be suppressed with an escape hatch comment naming
 // the analyzer and a reason:
@@ -71,6 +75,10 @@ type Config struct {
 	// CycleType is the fully-qualified name of the cycle-valued type
 	// ("swex/internal/sim.Cycle").
 	CycleType string
+	// DocPaths lists the packages held to the exporteddoc bar: the ones
+	// whose exported surface embodies a determinism contract that lives
+	// in doc comments. A subset of CorePaths.
+	DocPaths []string
 }
 
 // DefaultConfig returns the production scoping for this repository.
@@ -95,6 +103,11 @@ func DefaultConfig() *Config {
 		},
 		EnumModules: []string{"swex"},
 		CycleType:   "swex/internal/sim.Cycle",
+		DocPaths: []string{
+			"swex/internal/mc",
+			"swex/internal/sweep",
+			"swex/internal/trace",
+		},
 	}
 }
 
@@ -123,6 +136,7 @@ func Analyzers() []Analyzer {
 		ExhaustiveEnum{},
 		CycleMath{},
 		PanicHygiene{},
+		ExportedDoc{},
 	}
 }
 

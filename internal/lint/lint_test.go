@@ -52,6 +52,7 @@ func fixtureConfig() *lint.Config {
 		CorePaths:   []string{"fixture"},
 		EnumModules: []string{"fixture"},
 		CycleType:   "swex/internal/sim.Cycle",
+		DocPaths:    []string{"fixture/exporteddoc"},
 	}
 }
 
@@ -63,7 +64,7 @@ func TestFixtures(t *testing.T) {
 	if err != nil {
 		t.Fatalf("FindModuleRoot: %v", err)
 	}
-	for _, name := range []string{"determinism", "exhaustive", "cyclemath", "panichygiene"} {
+	for _, name := range []string{"determinism", "exhaustive", "cyclemath", "panichygiene", "exporteddoc"} {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", name)
 			loader := lint.NewLoader(root, modPath)

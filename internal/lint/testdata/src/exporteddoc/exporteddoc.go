@@ -1,0 +1,55 @@
+package exporteddoc // want "no package doc comment"
+
+// Documented is fine: the comment mentions Documented.
+type Documented struct {
+	// Field is documented.
+	Field int
+	// Other carries a doc comment too.
+	Other string
+	Bare  int // want "exported field Bare has no doc comment"
+}
+
+// Iface is an interface with a bare method.
+type Iface interface {
+	// Good is documented.
+	Good()
+	Bad() // want "exported interface method Bad has no doc comment"
+}
+
+type Undocumented int // want "exported type Undocumented has no doc comment"
+
+// wrong name in the comment: it talks about something else entirely.
+type Drifted int // want "never mentions"
+
+func (Documented) Method() int { return 0 } // want "exported method Method has no doc comment"
+
+// String renders the Documented value; methods with matching docs pass.
+func (Documented) String() string { return "" }
+
+func (unexported) Exported() {} // methods on unexported types are not API surface
+
+type unexported int
+
+// Exported is documented.
+func Exported() {}
+
+func AlsoExported() {} // want "exported function AlsoExported has no doc comment"
+
+// Grouped constants: the group doc covers every name.
+const (
+	GroupedA = iota
+	GroupedB
+)
+
+const Single = 1 // want "exported const Single has no doc comment"
+
+// Named is documented on its own spec.
+const Named = 2
+
+var Loose = 3 // want "exported var Loose has no doc comment"
+
+// Vars documents the group.
+var (
+	CoveredA int
+	CoveredB int
+)

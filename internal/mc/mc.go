@@ -1,53 +1,3 @@
-// Package mc is an exhaustive explicit-state model checker for the
-// protocol spectrum. It drives the real proto/dir/cache/sim machinery —
-// no re-modeling — through every interleaving of a small action alphabet
-// (per-node read, write, evict, check-in, and check-out against a handful
-// of blocks)
-// and asserts the coherence invariants on every reachable state.
-//
-// The simulated trace checker (proto.Checker) only ever witnesses the
-// states a benchmark happens to visit; directory protocols break in the
-// adversarial interleavings — an invalidation racing a data reply, an
-// eviction crossing a recall — that benchmarks rarely produce. The model
-// checker enumerates them all, for configurations small enough to
-// exhaust.
-//
-// # Forking by replay
-//
-// A machine state includes scheduled closures (pending message deliveries,
-// handler completions), which cannot be copied. Instead of snapshotting
-// the machine, the checker identifies a state with the *choice trace*
-// that produced it: the engine is deterministic, so replaying a trace on
-// a fresh machine reconstructs the state exactly. Forking at a scheduling
-// choice point is then "replay the parent's trace, apply one more
-// choice". The visited set is keyed by the canonical state fingerprint
-// (proto.Fabric.Snapshot), so two traces that converge on the same
-// logical state are explored once.
-//
-// At every state the available choices are:
-//
-//   - step: fire the next pending engine event (message delivery, handler
-//     completion, busy retry) — exactly one successor, because the engine
-//     orders events deterministically;
-//   - inject op: present one enabled processor operation to a cache
-//     controller, for every (node, block, action) whose action is enabled.
-//
-// The interleavings of injections against event firings are exactly the
-// schedules a real machine could exhibit at some combination of latencies.
-// All worlds run at zero latency (mesh.ZeroLatency, zero proto.Timing) so
-// simulated time stays frozen at cycle zero and logically identical
-// states fingerprint identically regardless of history.
-//
-// # Invariants
-//
-// After every transition the checker asserts, for every tracked block:
-// single writer (an Exclusive copy is the only copy), identical readers
-// (all Shared copies hold the same words), and directory–cache agreement
-// (proto.Fabric.AgreementViolation). Whenever the event queue is empty it
-// additionally asserts quiescence: no in-flight messages, no outstanding
-// miss transactions, no incomplete operations, and every directory entry
-// in a stable state — a machine that has gone quiet with work undone has
-// livelocked or dropped a message.
 package mc
 
 import (
@@ -79,9 +29,19 @@ const (
 	// transaction in flight — the raciest path in the directive's
 	// implementation, and the reason it belongs in the alphabet.
 	ActCheckOut
+	// ActWatch parks a consumer on the block's first word until it
+	// changes from its initial zero — the producer–consumer half of the
+	// alphabet (every ActWrite is a producer: it stores a non-zero
+	// distinctive value). Enabled when the node has no watcher already
+	// parked on the block and the watched word is not already known
+	// changed. Exercises the park/re-arm machinery against every
+	// invalidation, eviction, and local-store ordering, which no other
+	// action reaches.
+	ActWatch
 	numActions
 )
 
+// String names the Action as it appears in traces and counterexamples.
 func (a Action) String() string {
 	switch a {
 	case ActRead:
@@ -94,6 +54,8 @@ func (a Action) String() string {
 		return "checkin"
 	case ActCheckOut:
 		return "checkout"
+	case ActWatch:
+		return "watch"
 	default:
 		panic(fmt.Sprintf("mc: unknown action %d", int(a)))
 	}
@@ -101,18 +63,24 @@ func (a Action) String() string {
 
 // Op is one injectable operation: an action by a node on a tracked block.
 type Op struct {
-	Node  mem.NodeID
-	Block int // index into the world's tracked blocks
-	Act   Action
+	// Node is the acting node.
+	Node mem.NodeID
+	// Block is the index into the world's tracked blocks.
+	Block int
+	// Act is the action performed.
+	Act Action
 }
 
 // Choice is one edge of the transition system: either fire the next
 // pending engine event (Step) or inject an operation.
 type Choice struct {
+	// Step selects firing the next pending engine event; Op is ignored.
 	Step bool
-	Op   Op
+	// Op is the operation to inject when Step is false.
+	Op Op
 }
 
+// String renders the Choice as it appears in traces and counterexamples.
 func (c Choice) String() string {
 	if c.Step {
 		return "step"
@@ -139,14 +107,49 @@ type Config struct {
 	// DFS explores depth-first instead of breadth-first. BFS (the
 	// default) guarantees a shortest counterexample.
 	DFS bool
-	// MigratoryDetect and BatchReads toggle the Section 7 enhancements on
+	// MigratoryDetect toggles the Section 7 migratory-data adaptation on
 	// the checked machine.
 	MigratoryDetect bool
-	BatchReads      bool
+	// BatchReads toggles the Section 7 read-burst batching enhancement on
+	// the checked machine.
+	BatchReads bool
+	// Watch adds ActWatch to the default alphabet, enabling the
+	// producer–consumer (watch/store) operation pairs. Ignored when
+	// Actions is set explicitly.
+	Watch bool
+	// Actions, when non-nil, replaces the default alphabet entirely.
+	// Restricting the alphabet steers BFS's shortest counterexample:
+	// with ActRead excluded, for example, the only way to a shared copy
+	// is through a watch, so a seeded invalidation-drop surfaces on the
+	// watch path. Duplicates are rejected; order does not matter (the
+	// alphabet is enumerated in canonical Action order).
+	Actions []Action
+	// Overrides configures per-block protocol overrides: block i runs
+	// Overrides[i] (applied via proto.HomeCtl.Configure before the first
+	// reference) when its Name is non-empty, the machine Spec otherwise.
+	// May be shorter than Blocks. An override the machine's software
+	// cannot express is rejected, exactly as on the real machine.
+	Overrides []proto.Spec
+	// POR enables sleep-set partial-order reduction (see por.go). It
+	// requires BFS and preserves every invariant verdict and the exact
+	// set of quiescent states, but visits fewer of the transient
+	// orderings in between, so States/Transitions shrink.
+	POR bool
+	// CollectQuiescent records the fingerprint of every quiescent state
+	// in Result.QuiescentSet. The POR equivalence test compares these
+	// sets between reduced and full runs; they are memory-heavy, so
+	// collection is opt-in.
+	CollectQuiescent bool
 	// Fault, when set, builds a fresh message-drop filter for each world
 	// (worlds are rebuilt constantly, so the filter must be per-world
 	// state). Used to seed protocol bugs the checker should catch.
 	Fault func() func(proto.Msg) bool
+
+	// independence, when non-nil, replaces the POR independence relation
+	// over tracked-block indices (por.go, (*porCtx).independentBlocks).
+	// Test hook only: the negative fixture installs a deliberately
+	// unsound relation to prove the equivalence test has teeth.
+	independence func(a, b int) bool
 }
 
 // DefaultMaxStates bounds the visited set when Config.MaxStates is zero.
@@ -163,6 +166,7 @@ type Violation struct {
 	Trace []Choice
 }
 
+// String renders the Violation as a one-line verdict.
 func (v *Violation) String() string {
 	return fmt.Sprintf("%s: %s (trace length %d)", v.Invariant, v.Detail, len(v.Trace))
 }
@@ -183,6 +187,13 @@ type Result struct {
 	// Bounded reports that exploration stopped at MaxStates and the
 	// state space was NOT exhausted.
 	Bounded bool
+	// SleptTransitions counts the edges partial-order reduction pruned:
+	// enabled injections skipped because a sleep set proved an explored
+	// sibling ordering equivalent. Zero when Config.POR is off.
+	SleptTransitions uint64
+	// QuiescentSet holds the fingerprint of every quiescent state
+	// reached, when Config.CollectQuiescent is set (nil otherwise).
+	QuiescentSet map[string]struct{}
 	// Violation is non-nil if an invariant failed; exploration stops at
 	// the first violation.
 	Violation *Violation
@@ -197,7 +208,8 @@ type node struct {
 }
 
 // Check explores the reachable state space of the configured machine and
-// returns counts plus the first invariant violation found, if any.
+// returns counts plus the first invariant violation found, if any. It is
+// deterministic: the same Config always yields the same Result.
 func Check(cfg Config) (*Result, error) {
 	if err := validate(cfg); err != nil {
 		return nil, err
@@ -207,21 +219,30 @@ func Check(cfg Config) (*Result, error) {
 		maxStates = DefaultMaxStates
 	}
 	res := &Result{Spec: cfg.Spec}
+	if cfg.CollectQuiescent {
+		res.QuiescentSet = make(map[string]struct{})
+	}
+	if cfg.POR {
+		return res, checkPOR(cfg, maxStates, res)
+	}
+	return res, checkFull(cfg, maxStates, res)
+}
 
+// checkFull is the unreduced exploration: every enabled choice at every
+// state.
+func checkFull(cfg Config, maxStates int, res *Result) error {
 	w, err := newWorld(cfg)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if inv, detail := w.invariantViolation(); inv != "" {
 		res.Violation = &Violation{Invariant: inv, Detail: detail}
-		return res, nil
+		return nil
 	}
 	visited := make(map[string]struct{})
 	visited[string(w.fingerprint())] = struct{}{}
 	res.States = 1
-	if w.engine.Pending() == 0 {
-		res.Quiescent++
-	}
+	res.noteQuiescent(w, string(w.fingerprint()))
 	frontier := []node{{trace: nil, choices: w.choices()}}
 
 	for len(frontier) > 0 {
@@ -236,7 +257,7 @@ func Check(cfg Config) (*Result, error) {
 		for _, c := range cur.choices {
 			cw, err := replay(cfg, cur.trace)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			cw.apply(c)
 			res.Transitions++
@@ -246,7 +267,7 @@ func Check(cfg Config) (*Result, error) {
 			}
 			if inv, detail := cw.invariantViolation(); inv != "" {
 				res.Violation = &Violation{Invariant: inv, Detail: detail, Trace: trace}
-				return res, nil
+				return nil
 			}
 			key := string(cw.fingerprint())
 			if _, seen := visited[key]; seen {
@@ -258,13 +279,23 @@ func Check(cfg Config) (*Result, error) {
 			}
 			visited[key] = struct{}{}
 			res.States++
-			if cw.engine.Pending() == 0 {
-				res.Quiescent++
-			}
+			res.noteQuiescent(cw, key)
 			frontier = append(frontier, node{trace: trace, choices: cw.choices()})
 		}
 	}
-	return res, nil
+	return nil
+}
+
+// noteQuiescent updates the quiescent-state accounting for a newly
+// visited state.
+func (r *Result) noteQuiescent(w *world, key string) {
+	if w.engine.Pending() != 0 {
+		return
+	}
+	r.Quiescent++
+	if r.QuiescentSet != nil {
+		r.QuiescentSet[key] = struct{}{}
+	}
 }
 
 // validate rejects configurations the checker cannot exhaust.
@@ -281,7 +312,59 @@ func validate(cfg Config) error {
 	if cfg.MaxOps < 1 {
 		return fmt.Errorf("mc: operation budget %d; need at least 1", cfg.MaxOps)
 	}
+	seen := make(map[Action]bool)
+	for _, a := range cfg.Actions {
+		if a < 0 || a >= numActions {
+			return fmt.Errorf("mc: unknown action %d in alphabet", int(a))
+		}
+		if seen[a] {
+			return fmt.Errorf("mc: duplicate action %s in alphabet", a)
+		}
+		seen[a] = true
+	}
+	if cfg.Actions != nil && len(cfg.Actions) == 0 {
+		return fmt.Errorf("mc: empty action alphabet")
+	}
+	if len(cfg.Overrides) > cfg.Blocks {
+		return fmt.Errorf("mc: %d overrides for %d blocks", len(cfg.Overrides), cfg.Blocks)
+	}
+	if cfg.POR && cfg.DFS {
+		return fmt.Errorf("mc: POR requires BFS (sleep sets assume breadth-first expansion order)")
+	}
 	return nil
+}
+
+// alphabet resolves the run's action alphabet in canonical Action order.
+func (cfg Config) alphabet() []Action {
+	var acts []Action
+	if cfg.Actions != nil {
+		enabled := make(map[Action]bool, len(cfg.Actions))
+		for _, a := range cfg.Actions {
+			enabled[a] = true
+		}
+		for a := ActRead; a < numActions; a++ {
+			if enabled[a] {
+				acts = append(acts, a)
+			}
+		}
+		return acts
+	}
+	for a := ActRead; a < numActions; a++ {
+		if a == ActWatch && !cfg.Watch {
+			continue
+		}
+		acts = append(acts, a)
+	}
+	return acts
+}
+
+// blockSpec returns the protocol governing tracked block i: its override
+// when one is configured, the machine Spec otherwise.
+func (cfg Config) blockSpec(i int) proto.Spec {
+	if i < len(cfg.Overrides) && cfg.Overrides[i].Name != "" {
+		return cfg.Overrides[i]
+	}
+	return cfg.Spec
 }
 
 // replay reconstructs the state reached by a trace on a fresh machine.

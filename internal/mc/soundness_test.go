@@ -15,37 +15,48 @@ import (
 // fingerprint are compared. A mismatch means the fingerprint abstraction
 // is dropping behavior-relevant state, which would make exploration
 // order-dependent and state merging unsound.
+// The sweep runs every spec with the watch alphabet both off and on:
+// watch states carry the extensions the fingerprint grew for them
+// (parked-watcher details, waiter watch flags, relative firing deltas
+// from the one-cycle re-arm), and each extension claims to distinguish
+// exactly the states it must — this test is what holds it to that.
 func TestFingerprintSoundness(t *testing.T) {
 	for _, spec := range []proto.Spec{proto.SoftwareOnly(), proto.OnePointer(proto.AckLACK), proto.FullMap()} {
-		t.Run(spec.Name, func(t *testing.T) {
-			cfg := Config{Spec: spec, Nodes: 2, Blocks: 1, MaxOps: 3}
-			first := make(map[string][]Choice)
-			w, err := newWorld(cfg)
-			if err != nil {
-				t.Fatal(err)
+		for _, watch := range []bool{false, true} {
+			name := spec.Name
+			if watch {
+				name += "+watch"
 			}
-			first[string(w.fingerprint())] = nil
-			frontier := []node{{trace: nil, choices: w.choices()}}
-			for len(frontier) > 0 {
-				cur := frontier[0]
-				frontier = frontier[1:]
-				for _, c := range cur.choices {
-					cw, err := replay(cfg, cur.trace)
-					if err != nil {
-						t.Fatal(err)
-					}
-					cw.apply(c)
-					trace := append(append([]Choice{}, cur.trace...), c)
-					key := string(cw.fingerprint())
-					if prev, seen := first[key]; seen {
-						compareBehavior(t, cfg, prev, trace)
-						continue
-					}
-					first[key] = trace
-					frontier = append(frontier, node{trace: trace, choices: cw.choices()})
+			t.Run(name, func(t *testing.T) {
+				cfg := Config{Spec: spec, Nodes: 2, Blocks: 1, MaxOps: 3, Watch: watch}
+				first := make(map[string][]Choice)
+				w, err := newWorld(cfg)
+				if err != nil {
+					t.Fatal(err)
 				}
-			}
-		})
+				first[string(w.fingerprint())] = nil
+				frontier := []node{{trace: nil, choices: w.choices()}}
+				for len(frontier) > 0 {
+					cur := frontier[0]
+					frontier = frontier[1:]
+					for _, c := range cur.choices {
+						cw, err := replay(cfg, cur.trace)
+						if err != nil {
+							t.Fatal(err)
+						}
+						cw.apply(c)
+						trace := append(append([]Choice{}, cur.trace...), c)
+						key := string(cw.fingerprint())
+						if prev, seen := first[key]; seen {
+							compareBehavior(t, cfg, prev, trace)
+							continue
+						}
+						first[key] = trace
+						frontier = append(frontier, node{trace: trace, choices: cw.choices()})
+					}
+				}
+			})
+		}
 	}
 }
 

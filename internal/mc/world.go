@@ -18,10 +18,14 @@ type world struct {
 	cfg    Config
 	engine *sim.Engine
 	fabric *proto.Fabric
+	// acts is the resolved action alphabet (Config.alphabet()).
+	acts []Action
 	// blocks are the tracked blocks, block i homed on node i mod Nodes.
 	blocks []mem.Block
 	// addrs[i] is the base word address of blocks[i].
 	addrs []mem.Addr
+	// blockIdx maps a tracked block back to its index (POR event scoping).
+	blockIdx map[mem.Block]int
 	// injected counts operations presented so far; completed counts the
 	// ones whose Done callback fired. Both are part of the logical state
 	// (they bound the remaining alphabet and feed the quiescence
@@ -42,8 +46,6 @@ func newWorld(cfg Config) (*world, error) {
 		soft = proto.NewNopSoftware()
 	}
 	cacheCfg := proto.CacheConfig{
-		// Big enough that tracked blocks never conflict-miss: the only
-		// evictions are the alphabet's explicit ones.
 		Cache:         cache.Config{Lines: 64},
 		PerfectIfetch: true,
 	}
@@ -57,11 +59,33 @@ func newWorld(cfg Config) (*world, error) {
 	if cfg.Fault != nil {
 		f.Fault = cfg.Fault()
 	}
-	w := &world{cfg: cfg, engine: engine, fabric: f}
+	w := &world{cfg: cfg, engine: engine, fabric: f,
+		acts: cfg.alphabet(), blockIdx: make(map[mem.Block]int)}
 	for i := 0; i < cfg.Blocks; i++ {
-		a := memory.AllocOn(mem.NodeID(i%cfg.Nodes), mem.WordsPerBlock)
+		home := mem.NodeID(i % cfg.Nodes)
+		// Pad the segment so tracked block i lands in cache set i. Every
+		// segment base is ≡ 0 mod the set count, so without padding every
+		// node's first allocation — and therefore all tracked blocks of a
+		// Blocks ≤ Nodes run — would collide in set 0 of the direct-mapped
+		// cache and displace each other. Distinct sets make cross-block
+		// displacement impossible, which the POR independence relation
+		// (two ops on different blocks commute) depends on: the only
+		// evictions are the alphabet's explicit ones.
+		for int(memory.InUse(home)) < i*mem.WordsPerBlock {
+			memory.AllocOn(home, mem.WordsPerBlock)
+		}
+		a := memory.AllocOn(home, mem.WordsPerBlock)
 		w.addrs = append(w.addrs, a)
 		w.blocks = append(w.blocks, mem.BlockOf(a))
+		w.blockIdx[mem.BlockOf(a)] = i
+	}
+	for i, ov := range cfg.Overrides {
+		if ov.Name == "" {
+			continue
+		}
+		if err := f.Home(mem.HomeOfBlock(w.blocks[i])).Configure(w.blocks[i], ov); err != nil {
+			return nil, err
+		}
 	}
 	return w, nil
 }
@@ -80,7 +104,7 @@ func (w *world) choices() []Choice {
 	for n := 0; n < w.cfg.Nodes; n++ {
 		id := mem.NodeID(n)
 		for bi := range w.blocks {
-			for a := ActRead; a < numActions; a++ {
+			for _, a := range w.acts {
 				if w.enabled(id, bi, a) {
 					out = append(out, Choice{Op: Op{Node: id, Block: bi, Act: a}})
 				}
@@ -110,6 +134,15 @@ func (w *world) enabled(id mem.NodeID, bi int, a Action) bool {
 		return resident && !cc.HasTxn(b)
 	case ActCheckOut:
 		return !resident || line.State != cache.Exclusive
+	case ActWatch:
+		// One parked watcher per (node, block) bounds the watcher state;
+		// a resident copy whose watched word has already changed would
+		// complete synchronously without touching protocol state, so it
+		// is pruned like a read hit.
+		if len(cc.ParkedWatchers(b)) > 0 {
+			return false
+		}
+		return !resident || line.Words[0] == 0
 	default:
 		panic(fmt.Sprintf("mc: unknown action %d", int(a)))
 	}
@@ -143,9 +176,31 @@ func (w *world) apply(c Choice) {
 		cc.CheckIn(a, func() { w.completed++ })
 	case ActCheckOut:
 		cc.CheckOut(a, func() { w.completed++ })
+	case ActWatch:
+		// The consumer side of the producer–consumer pair: wait for the
+		// block's first word to change from its initial zero. Completes
+		// (counting toward the quiescence ledger) only when a producer's
+		// distinctive value becomes visible; until then the watcher is
+		// parked and accounted by parkedWatchers.
+		cc.Watch(a, 0, func(uint64) { w.completed++ })
 	default:
 		panic(fmt.Sprintf("mc: unknown action %d", int(c.Op.Act)))
 	}
+}
+
+// parkedWatchers counts watchers currently parked anywhere in the
+// machine. A parked watcher is an injected-but-incomplete operation that
+// is legitimately allowed to outlive quiescence (its wakeup depends on a
+// future producer), so the quiescence ledger nets it out.
+func (w *world) parkedWatchers() int {
+	total := 0
+	for n := 0; n < w.cfg.Nodes; n++ {
+		cc := w.fabric.Cache(mem.NodeID(n))
+		for _, b := range w.blocks {
+			total += len(cc.ParkedWatchers(b))
+		}
+	}
+	return total
 }
 
 // fingerprint is the canonical state key: the fabric snapshot plus the
@@ -159,7 +214,7 @@ func (w *world) fingerprint() []byte {
 // invariantViolation evaluates every invariant against the current state,
 // returning the failed invariant's name and a description, or "", "".
 func (w *world) invariantViolation() (string, string) {
-	for _, b := range w.blocks {
+	for bi, b := range w.blocks {
 		if d := w.copiesViolation(b); d != "" {
 			return "single-writer", d
 		}
@@ -167,19 +222,81 @@ func (w *world) invariantViolation() (string, string) {
 			return "identical-readers", d
 		}
 		if d := w.fabric.AgreementViolation(b); d != "" {
-			return "agreement", d
+			// Name any consumer the inconsistency strands: a counterexample
+			// that loses an invalidation under the watch alphabet should
+			// say which node's watcher never hears about it.
+			return "agreement", d + w.watcherNote(bi)
 		}
 	}
 	if w.engine.Pending() == 0 {
-		if w.completed < w.injected {
-			return "quiescence", fmt.Sprintf("event queue drained with %d of %d operations incomplete",
-				w.injected-w.completed, w.injected)
+		parked := w.parkedWatchers()
+		if w.completed+parked != w.injected {
+			return "quiescence", fmt.Sprintf("event queue drained with %d of %d operations incomplete (%d watchers parked)",
+				w.injected-w.completed, w.injected, parked)
 		}
 		if d := w.fabric.QuiescenceViolation(w.blocks); d != "" {
 			return "quiescence", d
 		}
+		if inv, d := w.lostWakeupViolation(); d != "" {
+			return inv, d
+		}
 	}
 	return "", ""
+}
+
+// lostWakeupViolation checks, at quiescence, that every parked watcher is
+// parked for a reason: the block's coherent value must still equal the
+// value the watcher is waiting to see change. A watcher parked on a stale
+// value means some producer's store committed without the park/re-arm
+// machinery re-reading it — the consumer would spin forever on a real
+// machine.
+func (w *world) lostWakeupViolation() (string, string) {
+	for n := 0; n < w.cfg.Nodes; n++ {
+		id := mem.NodeID(n)
+		cc := w.fabric.Cache(id)
+		for bi, b := range w.blocks {
+			for _, wi := range cc.ParkedWatchers(b) {
+				if cur := w.coherentWord(bi, wi.Addr); cur != wi.Old {
+					return "lost-wakeup", fmt.Sprintf(
+						"node %d's watcher on block %d (old=%d) is still parked but the coherent value is %d — its wakeup was lost",
+						id, b, wi.Old, cur)
+				}
+			}
+		}
+	}
+	return "", ""
+}
+
+// watcherNote describes the watchers parked on tracked block bi, for
+// attachment to another invariant's detail ("" when none are parked).
+func (w *world) watcherNote(bi int) string {
+	b := w.blocks[bi]
+	note := ""
+	for n := 0; n < w.cfg.Nodes; n++ {
+		id := mem.NodeID(n)
+		for _, wi := range w.fabric.Cache(id).ParkedWatchers(b) {
+			note += fmt.Sprintf("; node %d's watcher on block %d (old=%d) is still parked",
+				id, b, wi.Old)
+		}
+	}
+	return note
+}
+
+// coherentWord resolves the current coherent value of the word at addr in
+// tracked block bi: an Exclusive copy's word if one exists (it is the
+// only writable copy), home memory otherwise. Shared copies never diverge
+// from memory outside a transient the identical-readers invariant already
+// guards.
+func (w *world) coherentWord(bi int, addr mem.Addr) uint64 {
+	b := w.blocks[bi]
+	off := int(addr - b.Base())
+	for n := 0; n < w.cfg.Nodes; n++ {
+		l, ok := w.fabric.Cache(mem.NodeID(n)).HasBlock(b)
+		if ok && l.State == cache.Exclusive {
+			return l.Words[off]
+		}
+	}
+	return w.fabric.Mem.ReadBlock(b)[off]
 }
 
 // copiesViolation checks single-writer for one block: an Exclusive copy

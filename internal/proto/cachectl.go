@@ -62,6 +62,11 @@ type pendingOp struct {
 	// where a read waiter completes, so states differing only in the
 	// waiter's kind are not equivalent.
 	checkout bool
+	// watch marks a Watch's compare-and-park waiter, for the same reason
+	// checkout exists: a watch waiter that fills with the unchanged value
+	// parks instead of completing, so states differing only in the
+	// waiter's kind are not equivalent and the fingerprint must see it.
+	watch bool
 }
 
 type watcher struct {
@@ -110,7 +115,10 @@ func (cc *CacheCtl) HasBlock(b mem.Block) (cache.Line, bool) { return cc.c.Peek(
 // Access presents one data operation. Done fires when it commits; for
 // misses that is when the fill (or ownership grant) arrives and the
 // operation replays.
-func (cc *CacheCtl) Access(a mem.Addr, op Op) {
+func (cc *CacheCtl) Access(a mem.Addr, op Op) { cc.access(a, op, false) }
+
+// access is Access plus the watch-waiter marker (see pendingOp.watch).
+func (cc *CacheCtl) access(a mem.Addr, op Op, watch bool) {
 	b := mem.BlockOf(a)
 	off := int(a - b.Base())
 	if line, ok := cc.c.Lookup(b, false); ok {
@@ -126,6 +134,11 @@ func (cc *CacheCtl) Access(a mem.Addr, op Op) {
 			}
 			line.Words[off] = nv
 			line.Dirty = true
+			// A locally committed store is a coherence event for parked
+			// watchers too: a consumer parked on this node would otherwise
+			// never observe a producer writing from the same node (no
+			// invalidation is generated for an exclusive hit).
+			cc.wakeWatchers(b)
 			if op.RMW != nil {
 				op.Done(old)
 			} else {
@@ -135,12 +148,12 @@ func (cc *CacheCtl) Access(a mem.Addr, op Op) {
 		}
 		// Shared copy, write requested: upgrade through the home.
 	}
-	cc.enqueue(a, op)
+	cc.enqueue(a, op, watch)
 }
 
 // enqueue adds the operation to the block's miss transaction, creating and
 // issuing one if necessary.
-func (cc *CacheCtl) enqueue(a mem.Addr, op Op) {
+func (cc *CacheCtl) enqueue(a mem.Addr, op Op, watch bool) {
 	b := mem.BlockOf(a)
 	t, ok := cc.txns[b]
 	if !ok {
@@ -149,7 +162,7 @@ func (cc *CacheCtl) enqueue(a mem.Addr, op Op) {
 		cc.txns[b] = t
 		cc.issue(b, t)
 	}
-	t.waiters = append(t.waiters, pendingOp{addr: a, op: op})
+	t.waiters = append(t.waiters, pendingOp{addr: a, op: op, watch: watch})
 }
 
 // beginTrace stamps a new transaction with a trace id (tracing only).
@@ -193,7 +206,7 @@ func (cc *CacheCtl) Ifetch(pc mem.Addr, done func()) {
 			Cat: trace.CatProc, Op: trace.OpIfetch, Name: "ifetch",
 		})
 	}
-	cc.f.Engine.AfterTagged(lat, fmt.Sprintf("ifetch:%d:blk%d", cc.node, b), func() {
+	cc.f.Engine.AfterTagged(lat, blockTag{label: fmt.Sprintf("ifetch:%d:blk%d", cc.node, b), b: b}, func() {
 		cc.install(cache.Line{Block: b, State: cache.Shared})
 		done()
 	})
@@ -284,14 +297,14 @@ func (cc *CacheCtl) Evict(b mem.Block) bool {
 // the coherence traffic of a real spin loop (re-fetch after each
 // invalidation) is modeled without simulating every spin iteration.
 func (cc *CacheCtl) Watch(a mem.Addr, old uint64, done func(v uint64)) {
-	cc.Access(a, Op{Done: func(v uint64) {
+	cc.access(a, Op{Done: func(v uint64) {
 		if v != old {
 			done(v)
 			return
 		}
 		b := mem.BlockOf(a)
 		cc.watchers[b] = append(cc.watchers[b], watcher{a, old, done})
-	}})
+	}}, true)
 }
 
 // wakeWatchers re-arms every watcher on block b.
@@ -303,9 +316,33 @@ func (cc *CacheCtl) wakeWatchers(b mem.Block) {
 	delete(cc.watchers, b)
 	for _, w := range ws {
 		w := w
-		cc.f.Engine.AfterTagged(1, fmt.Sprintf("watch:%d:a%d:o%d", cc.node, w.addr, w.old),
+		cc.f.Engine.AfterTagged(1,
+			blockTag{label: fmt.Sprintf("watch:%d:a%d:o%d", cc.node, w.addr, w.old), b: b},
 			func() { cc.Watch(w.addr, w.old, w.done) })
 	}
+}
+
+// WatchInfo describes one parked watcher: the watched address and the
+// value it is still waiting to see change. The model checker folds parked
+// watchers into state fingerprints (internal/proto/snapshot.go) and
+// asserts the lost-wakeup invariant against them.
+type WatchInfo struct {
+	Addr mem.Addr
+	Old  uint64
+}
+
+// ParkedWatchers returns the watchers currently parked on block b, in
+// park order. A parked watcher has observed the unchanged value and
+// holds no transaction; it re-arms only when the block sees a coherence
+// event (invalidation, eviction, displacement, check-in, or a local
+// store commit).
+func (cc *CacheCtl) ParkedWatchers(b mem.Block) []WatchInfo {
+	ws := cc.watchers[b]
+	out := make([]WatchInfo, 0, len(ws))
+	for _, w := range ws {
+		out = append(out, WatchInfo{Addr: w.addr, Old: w.old})
+	}
+	return out
 }
 
 // install puts a fill into the cache and disposes of whatever it displaces.
@@ -374,7 +411,7 @@ func (cc *CacheCtl) fill(m Msg, st cache.LineState) {
 	// writes. Reads hit immediately; a write against a Shared fill
 	// re-issues as an upgrade, which is progress.
 	for _, w := range t.waiters {
-		cc.Access(w.addr, w.op)
+		cc.access(w.addr, w.op, w.watch)
 	}
 }
 

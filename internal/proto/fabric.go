@@ -67,6 +67,29 @@ type flight struct {
 	m Msg
 }
 
+// blockTag is the inspection tag for scheduled protocol work that is not
+// an in-flight message: handler completions, queued home processing,
+// watch re-arms, and instruction fills. It carries the rendered label the
+// snapshot layer encodes plus the block the work targets, so the model
+// checker's partial-order reduction can ask which block the next pending
+// event touches (Fabric.NextEventBlock) without parsing labels.
+type blockTag struct {
+	label string
+	b     mem.Block
+}
+
+// procTag is the inspection tag for a message queued at a busy home for
+// hardware processing. It carries the message itself rather than a
+// pre-rendered label: the snapshot layer must encode the message's epoch
+// relative to the directory entry's current epoch (exactly as it does
+// for in-flight messages), and a label rendered at scheduling time would
+// bake in the absolute epoch — a history artifact that would split
+// logically identical states.
+type procTag struct {
+	node mem.NodeID
+	m    Msg
+}
+
 // NewFabric builds the fabric and both controllers for every node.
 // Software may be nil only for the full-map protocol.
 func NewFabric(engine *sim.Engine, net *mesh.Network, memory *mem.Memory,

@@ -93,7 +93,7 @@ func (h *HomeCtl) Deliver(m Msg) {
 		})
 	}
 	e.AtTagged(start+h.f.Timing.HomeProc,
-		fmt.Sprintf("proc:%d:%s", h.node, m.String()),
+		procTag{node: h.node, m: m},
 		func() { h.process(m) })
 }
 
@@ -185,7 +185,7 @@ func (h *HomeCtl) trap(tag string, b mem.Block, r mem.NodeID, name string, cost 
 	if h.f.Sink != nil {
 		h.f.emitHandler(h.node, b, r, name, cost, done)
 	}
-	h.f.Engine.AtTagged(done, tag, then)
+	h.f.Engine.AtTagged(done, blockTag{label: tag, b: b}, then)
 	return done
 }
 
@@ -333,7 +333,7 @@ func (h *HomeCtl) swRead(b mem.Block, e *dir.Entry, r mem.NodeID, drained []mem.
 		h.f.emitHandler(h.node, b, r, "read-batched", cost, h.chainEnd[b])
 	}
 	h.f.Engine.AtTagged(h.chainEnd[b],
-		fmt.Sprintf("trap:readbatch:%d:blk%d:r%d", h.node, b, r), finish)
+		blockTag{label: fmt.Sprintf("trap:readbatch:%d:blk%d:r%d", h.node, b, r), b: b}, finish)
 }
 
 // h0Read services a read under the software-only directory.
@@ -482,32 +482,32 @@ func (h *HomeCtl) swWriteFault(b mem.Block, e *dir.Entry, r mem.NodeID) {
 	cost := h.f.Soft.WriteFault(b, r, len(targets))
 	h.trap(fmt.Sprintf("trap:wfault:%d:blk%d:r%d:t%v", h.node, b, r, targets),
 		b, r, "write-fault", cost, func() {
-		e.Epoch++
-		e.AckCount = len(targets)
-		e.Req = r
-		e.ReqWrite = true
-		e.Ptrs.Clear()
-		e.LocalBit = false
-		e.SwExt = false
-		e.SwCount = 0
-		e.BroadcastBit = false
-		h.swTxn[b] = true
-		if len(targets) == 0 {
-			h.grantWrite(b, e, r)
-			return
-		}
-		for _, t := range targets {
-			h.f.Send(Msg{Kind: MsgINV, Src: h.node, Dst: t, Block: b, Epoch: e.Epoch})
-		}
-		h.f.Counters.Addc("home.sw_invalidations", uint64(len(targets)))
-		if spec.AckMode == AckSW {
-			// Software fields every acknowledgment: the block stays
-			// under software control.
-			e.State = dir.SWait
-		} else {
-			e.State = dir.AckWait
-		}
-	})
+			e.Epoch++
+			e.AckCount = len(targets)
+			e.Req = r
+			e.ReqWrite = true
+			e.Ptrs.Clear()
+			e.LocalBit = false
+			e.SwExt = false
+			e.SwCount = 0
+			e.BroadcastBit = false
+			h.swTxn[b] = true
+			if len(targets) == 0 {
+				h.grantWrite(b, e, r)
+				return
+			}
+			for _, t := range targets {
+				h.f.Send(Msg{Kind: MsgINV, Src: h.node, Dst: t, Block: b, Epoch: e.Epoch})
+			}
+			h.f.Counters.Addc("home.sw_invalidations", uint64(len(targets)))
+			if spec.AckMode == AckSW {
+				// Software fields every acknowledgment: the block stays
+				// under software control.
+				e.State = dir.SWait
+			} else {
+				e.State = dir.AckWait
+			}
+		})
 }
 
 // invTargets collects the nodes holding copies that must be invalidated
@@ -626,10 +626,10 @@ func (h *HomeCtl) swAck(b mem.Block, e *dir.Entry) {
 	cost := h.f.Soft.AckTrap(b, last)
 	h.trap(fmt.Sprintf("trap:ack:%d:blk%d:last=%v", h.node, b, last),
 		b, e.Req, "ack", cost, func() {
-		if last {
-			h.grantWrite(b, e, e.Req)
-		}
-	})
+			if last {
+				h.grantWrite(b, e, e.Req)
+			}
+		})
 }
 
 func (h *HomeCtl) onUpdate(m Msg, e *dir.Entry) {

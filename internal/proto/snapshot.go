@@ -83,40 +83,62 @@ func (f *Fabric) snapNode(buf *bytes.Buffer, id mem.NodeID, blocks []mem.Block) 
 		if t, ok := cc.txns[b]; ok {
 			fmt.Fprintf(buf, "t%d=%v[", b, t.write)
 			for _, w := range t.waiters {
-				fmt.Fprintf(buf, "(%d %v %d %v %v)", w.addr, w.op.Write, w.op.Value, w.op.RMW != nil, w.checkout)
+				fmt.Fprintf(buf, "(%d %v %d %v %v", w.addr, w.op.Write, w.op.Value, w.op.RMW != nil, w.checkout)
+				if w.watch {
+					// Appended rather than unconditional so fingerprints
+					// of watch-free histories keep their PR 3 encodings.
+					fmt.Fprintf(buf, " w")
+				}
+				fmt.Fprintf(buf, ")")
 			}
 			fmt.Fprintf(buf, "] ")
 		}
-		if n := len(cc.watchers[b]); n > 0 {
-			fmt.Fprintf(buf, "w%d=%d ", b, n)
+		if ws := cc.watchers[b]; len(ws) > 0 {
+			// Parked watchers are logical state: which address each waits
+			// on and which value it expects to change determine whether a
+			// future coherence event completes or re-parks it, so a bare
+			// count would merge states that diverge.
+			fmt.Fprintf(buf, "w%d=[", b)
+			for _, w := range ws {
+				fmt.Fprintf(buf, "(%d %d)", w.addr, w.old)
+			}
+			fmt.Fprintf(buf, "] ")
 		}
 	}
 	fmt.Fprintf(buf, "}")
 }
 
-// snapPending encodes the engine's pending events in firing order.
+// snapPending encodes the engine's pending events in firing order, each
+// prefixed by its firing delay relative to the current cycle when that
+// delay is non-zero. Order alone is not sufficient once watch re-arms
+// enter the picture: a re-arm is scheduled one cycle out (the only
+// non-zero delay a zero-latency world ever schedules), so a state where
+// the re-arm fires before a newly injected zero-delay event and a state
+// where it fires after are different states. Encoding the relative delay
+// separates them while leaving delay-free histories byte-identical to
+// the order-only encoding.
 func (f *Fabric) snapPending(buf *bytes.Buffer) {
+	now := f.Engine.Now()
 	fmt.Fprintf(buf, "Q[")
 	for _, ev := range f.Engine.PendingTagged() {
+		if d := ev.At - now; d != 0 {
+			fmt.Fprintf(buf, "+%d", d)
+		}
 		switch tag := ev.Tag.(type) {
 		case *flight:
-			m := tag.m
-			// Relative epoch, and only for the kinds whose epoch the
-			// protocol reads: equality with the entry's current epoch is
-			// all that matters, and encoding the absolute value (or a
-			// delta against a request's constant zero) would leak the
-			// history-dependent transaction count into the fingerprint.
-			var delta uint32
-			if m.Kind.CarriesEpoch() {
-				delta = f.entryEpoch(m.Block) - m.Epoch
-			}
-			fmt.Fprintf(buf, "M%d:%d>%d:b%d:e%d", int(m.Kind), m.Src, m.Dst, m.Block, delta)
-			if m.Kind.CarriesData() {
-				fmt.Fprintf(buf, ":%v", m.Words)
-			}
+			f.snapMsg(buf, tag.m)
+			fmt.Fprintf(buf, ";")
+		case procTag:
+			// A message queued at a busy home is encoded exactly like one
+			// still in flight, distinguished by the prefix: it carries the
+			// same logical content and the same epoch-relativity rules.
+			fmt.Fprintf(buf, "P%d:", tag.node)
+			f.snapMsg(buf, tag.m)
 			fmt.Fprintf(buf, ";")
 		case *retryTag:
 			fmt.Fprintf(buf, "retry:%d:blk%d:live=%v;", tag.cc.node, tag.b, tag.live())
+		case blockTag:
+			fmt.Fprintf(buf, "%s;", tag.label)
 		case string:
 			fmt.Fprintf(buf, "%s;", tag)
 		default:
@@ -124,6 +146,23 @@ func (f *Fabric) snapPending(buf *bytes.Buffer) {
 		}
 	}
 	fmt.Fprintf(buf, "]")
+}
+
+// snapMsg encodes one protocol message canonically. The epoch is encoded
+// relative to the entry's current epoch, and only for the kinds whose
+// epoch the protocol reads: equality with the entry's current epoch is
+// all that matters, and encoding the absolute value (or a delta against
+// a request's constant zero) would leak the history-dependent
+// transaction count into the fingerprint.
+func (f *Fabric) snapMsg(buf *bytes.Buffer, m Msg) {
+	var delta uint32
+	if m.Kind.CarriesEpoch() {
+		delta = f.entryEpoch(m.Block) - m.Epoch
+	}
+	fmt.Fprintf(buf, "M%d:%d>%d:b%d:e%d", int(m.Kind), m.Src, m.Dst, m.Block, delta)
+	if m.Kind.CarriesData() {
+		fmt.Fprintf(buf, ":%v", m.Words)
+	}
 }
 
 // PendingDescriptions renders the engine's pending events in firing order
@@ -137,8 +176,12 @@ func (f *Fabric) PendingDescriptions() []string {
 		switch tag := ev.Tag.(type) {
 		case *flight:
 			out = append(out, "deliver "+tag.m.String())
+		case procTag:
+			out = append(out, fmt.Sprintf("proc:%d:%s", tag.node, tag.m.String()))
 		case *retryTag:
 			out = append(out, fmt.Sprintf("retry node%d blk%d", tag.cc.node, tag.b))
+		case blockTag:
+			out = append(out, tag.label)
 		case string:
 			out = append(out, tag)
 		default:
@@ -146,6 +189,31 @@ func (f *Fabric) PendingDescriptions() []string {
 		}
 	}
 	return out
+}
+
+// NextEventBlock reports the block the engine's earliest pending event
+// operates on, when its inspection tag identifies one (message delivery,
+// busy retry, handler completion, queued home processing, watch re-arm,
+// instruction fill). ok is false when nothing is pending or the event is
+// untagged. The model checker's partial-order reduction uses it to decide
+// whether firing the event can interfere with a slept injection; an
+// unidentifiable event must be treated as interfering with everything.
+func (f *Fabric) NextEventBlock() (mem.Block, bool) {
+	evs := f.Engine.PendingTagged()
+	if len(evs) == 0 {
+		return 0, false
+	}
+	switch tag := evs[0].Tag.(type) {
+	case *flight:
+		return tag.m.Block, true
+	case procTag:
+		return tag.m.Block, true
+	case *retryTag:
+		return tag.b, true
+	case blockTag:
+		return tag.b, true
+	}
+	return 0, false
 }
 
 // entryEpoch returns the current epoch of b's home directory entry (zero

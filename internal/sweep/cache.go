@@ -241,7 +241,9 @@ type Status struct {
 
 // Failure pairs a failed job key with its journaled error.
 type Failure struct {
+	// Key is the failed job's canonical key.
 	Key string
+	// Err is the journaled error text.
 	Err string
 }
 

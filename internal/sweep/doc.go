@@ -1,0 +1,26 @@
+// Package sweep is the experiment orchestrator: a deterministic parallel
+// job runner for simulation sweeps with a content-addressed result cache
+// and a crash-safe manifest journal.
+//
+// The paper's evaluation is a large matrix of independent NWO runs — six
+// applications plus WORKER across the whole protocol spectrum on machines
+// of 16 to 256 nodes — that cost the authors machine-months of serial
+// simulation. Every point in that matrix is an isolated, deterministic
+// computation: a (program, machine configuration) pair that always
+// produces the same result. That makes the matrix embarrassingly parallel
+// and perfectly cacheable, and this package exploits both properties:
+//
+//   - a Job is a canonical, hashable description of one run;
+//   - a Runner executes jobs on a bounded worker pool with per-job panic
+//     recovery, cycle/wall budgets, a retry policy, and context
+//     cancellation, merging results back in submission (matrix) order so
+//     sweep output is byte-identical to a serial run at any worker count;
+//   - a Cache persists each finished result under the SHA-256 of its
+//     job key, journaled in an append-only JSONL manifest, so a killed
+//     sweep resumes by skipping finished jobs and an unchanged matrix
+//     re-runs as pure cache hits.
+//
+// The package is part of the lint-enforced simulation core: everything
+// outside the explicitly annotated worker-pool handoff follows the
+// determinism contract.
+package sweep

@@ -1,28 +1,3 @@
-// Package sweep is the experiment orchestrator: a deterministic parallel
-// job runner for simulation sweeps with a content-addressed result cache
-// and a crash-safe manifest journal.
-//
-// The paper's evaluation is a large matrix of independent NWO runs — six
-// applications plus WORKER across the whole protocol spectrum on machines
-// of 16 to 256 nodes — that cost the authors machine-months of serial
-// simulation. Every point in that matrix is an isolated, deterministic
-// computation: a (program, machine configuration) pair that always
-// produces the same result. That makes the matrix embarrassingly parallel
-// and perfectly cacheable, and this package exploits both properties:
-//
-//   - a Job is a canonical, hashable description of one run;
-//   - a Runner executes jobs on a bounded worker pool with per-job panic
-//     recovery, cycle/wall budgets, a retry policy, and context
-//     cancellation, merging results back in submission (matrix) order so
-//     sweep output is byte-identical to a serial run at any worker count;
-//   - a Cache persists each finished result under the SHA-256 of its
-//     job key, journaled in an append-only JSONL manifest, so a killed
-//     sweep resumes by skipping finished jobs and an unchanged matrix
-//     re-runs as pure cache hits.
-//
-// The package is part of the lint-enforced simulation core: everything
-// outside the explicitly annotated worker-pool handoff follows the
-// determinism contract.
 package sweep
 
 import (
@@ -56,9 +31,10 @@ type ProgramRef struct {
 	// Quick selects the reduced problem size from apps.QuickRegistry.
 	// Ignored for WORKER, whose size is explicit.
 	Quick bool
-	// SetSize and Iters are the WORKER parameters (App == WorkerName).
+	// SetSize is the WORKER worker-set size (App == WorkerName).
 	SetSize int
-	Iters   int
+	// Iters is the WORKER iteration count (App == WorkerName).
+	Iters int
 }
 
 // Resolve looks the reference up in the application registry.
@@ -85,8 +61,10 @@ func (p ProgramRef) Resolve() (apps.Program, error) {
 // configuration, with an optional per-job simulated-cycle budget. Two jobs
 // with equal keys describe the same computation and share a cache entry.
 type Job struct {
+	// Program names the workload.
 	Program ProgramRef
-	Config  machine.Config
+	// Config is the machine configuration the workload runs on.
+	Config machine.Config
 	// Limit bounds the run in simulated cycles (0 = the runner default, or
 	// unbounded). Exceeding it records a failure, not a hang.
 	Limit sim.Cycle

@@ -16,7 +16,9 @@ func (b Breakdown) Stats() stats.Breakdown { return stats.Breakdown(b) }
 
 // HistBucket is one bucket of a worker-set-size histogram.
 type HistBucket struct {
-	Size  int
+	// Size is the worker-set size this bucket counts.
+	Size int
+	// Count is how many blocks peaked at exactly Size workers.
 	Count uint64
 }
 
@@ -26,18 +28,23 @@ type HistBucket struct {
 type Result struct {
 	// Time is the parallel run time in simulated cycles.
 	Time sim.Cycle
-	// Traps, HandlerCycles, Messages, and BusyRetries mirror
-	// machine.Result.
-	Traps         uint64
+	// Traps counts software handler invocations (mirrors machine.Result).
+	Traps uint64
+	// HandlerCycles totals software handler occupancy (mirrors
+	// machine.Result).
 	HandlerCycles sim.Cycle
-	Messages      uint64
-	BusyRetries   uint64
+	// Messages counts protocol messages sent (mirrors machine.Result).
+	Messages uint64
+	// BusyRetries counts BUSY-bounced retries (mirrors machine.Result).
+	BusyRetries uint64
 	// ReadMean .. LocalMean are the ledger's average software-handler
 	// latencies per request kind across all sharer counts (Table 1).
 	ReadMean, WriteMean, AckMean, LocalMean float64
-	// ReadMedian/WriteMedian are the median handler breakdowns (Table 2);
-	// the Has flags distinguish "no records" from a zero breakdown.
-	ReadMedian, WriteMedian       Breakdown
+	// ReadMedian and WriteMedian are the median handler breakdowns
+	// (Table 2).
+	ReadMedian, WriteMedian Breakdown
+	// HasReadMedian and HasWriteMedian distinguish "no records" from a
+	// zero ReadMedian/WriteMedian breakdown.
 	HasReadMedian, HasWriteMedian bool
 	// WorkerSets is the per-block maximum worker-set histogram (Figure 6),
 	// in ascending bucket order.

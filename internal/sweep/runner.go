@@ -109,10 +109,12 @@ func (r *Runner) Workers() int {
 
 // Outcome is the per-job verdict of a sweep, in submission order.
 type Outcome struct {
+	// Job echoes the submitted job.
 	Job Job
-	// Key and Hash identify the job in the cache and journal. Empty Key
-	// means the job description itself was invalid.
-	Key  string
+	// Key is the job's canonical cache key; empty means the job
+	// description itself was invalid.
+	Key string
+	// Hash is the SHA-256 of Key, the cache and journal identifier.
 	Hash string
 	// Result is valid when Err is nil.
 	Result Result

@@ -1,25 +1,3 @@
-// Package trace is the simulator's structured observability subsystem: a
-// near-zero-cost-when-disabled span collector threaded through the whole
-// stack (engine dispatch, mesh queues, processor intervals, protocol
-// message lifecycles, and software-handler activities), plus a
-// critical-path attribution pass and exporters (Chrome/Perfetto trace
-// JSON and a plain-text aggregate profile).
-//
-// Every event is a span [Start, End] in simulated cycles on one node's
-// timeline, tagged with a category (the machine resource occupied), an
-// operation code, and a small fixed argument set. Two correlation ids tie
-// events together:
-//
-//   - Txn groups every span caused by one memory transaction (the cache
-//     miss window, the request/data/INV/ACK messages, the home directory
-//     occupancy, and the software handlers it trapped), so a whole miss
-//     is one flow in the exported trace.
-//   - Seq groups the component spans of one network message (transmit
-//     queueing, DRAM occupancy, wire time, receive queueing).
-//
-// The package is part of the deterministic simulation core: identical
-// runs emit identical event sequences, and the exporters are written so
-// identical event sequences produce byte-identical output.
 package trace
 
 import "swex/internal/sim"

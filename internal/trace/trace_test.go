@@ -79,8 +79,9 @@ func TestEnumStringsAreTotal(t *testing.T) {
 }
 
 // synthetic window: txn 1, read of block 9 on node 0, cycles 100..200.
-//   net-transit 100..150, net-queue 110..120 (overlaps transit, higher
-//   priority), sw-handler 150..190, nothing 190..200.
+//
+//	net-transit 100..150, net-queue 110..120 (overlaps transit, higher
+//	priority), sw-handler 150..190, nothing 190..200.
 func syntheticEvents() []Event {
 	return []Event{
 		{Start: 100, End: 200, Txn: 1, Arg: 9, Node: 0, Peer: -1, Cat: CatMemOp, Op: OpMemRead, Name: "read"},
