@@ -150,6 +150,8 @@ func touch(set []Line, w int) {
 // mutating call. The instruction flag selects which hit/miss counters to
 // charge, matching the combined cache's shared storage but split
 // accounting.
+//
+//swex:hotpath
 func (c *Cache) Lookup(b mem.Block, instruction bool) (*Line, bool) {
 	set := c.set(c.Set(b))
 	if w := c.findWay(set, b); w >= 0 {
@@ -211,6 +213,8 @@ func (c *Cache) touchVictim(i int) {
 // when one is configured; the line that leaves the hierarchy entirely
 // (from the victim cache's LRU slot, or the set when there is no victim
 // cache) is returned so the controller can write it back if dirty.
+//
+//swex:hotpath
 func (c *Cache) Insert(l Line) (evicted Line, wasEvicted bool) {
 	set := c.set(c.Set(l.Block))
 	if w := c.findWay(set, l.Block); w >= 0 {
@@ -267,6 +271,8 @@ func (c *Cache) Insert(l Line) (evicted Line, wasEvicted bool) {
 // Invalidate removes block b from the hierarchy, returning the line it
 // held if present. The protocol uses the returned contents to build the
 // UPDATE (dirty data) reply to an invalidation.
+//
+//swex:hotpath
 func (c *Cache) Invalidate(b mem.Block) (Line, bool) {
 	set := c.set(c.Set(b))
 	if w := c.findWay(set, b); w >= 0 {

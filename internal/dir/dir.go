@@ -237,6 +237,8 @@ func New(caps int) *Directory {
 func (d *Directory) PointerCap() int { return d.caps }
 
 // Entry returns the entry for block b, creating it Uncached if absent.
+//
+//swex:hotpath
 func (d *Directory) Entry(b mem.Block) *Entry {
 	return d.EntryWithCap(b, d.caps)
 }

@@ -100,6 +100,8 @@ func (h *Handlers) smallOpt(e *entry) bool {
 
 // ReadOverflow implements proto.Software: extend the directory with the
 // drained hardware pointers plus the requester.
+//
+//swex:hotpath
 func (h *Handlers) ReadOverflow(b mem.Block, drained []mem.NodeID, requester mem.NodeID) sim.Cycle {
 	ns := h.home(b)
 	e, probes := ns.table.lookup(b)
@@ -138,6 +140,8 @@ func (h *Handlers) ReadOverflow(b mem.Block, drained []mem.NodeID, requester mem
 
 // ReadBatched implements proto.Software: record one more reader from
 // inside the running handler's message-drain loop.
+//
+//swex:hotpath
 func (h *Handlers) ReadBatched(b mem.Block, requester mem.NodeID) sim.Cycle {
 	ns := h.home(b)
 	e, _ := ns.table.lookup(b)
@@ -154,6 +158,8 @@ func (h *Handlers) ReadBatched(b mem.Block, requester mem.NodeID) sim.Cycle {
 }
 
 // SharersOf implements proto.Software.
+//
+//swex:hotpath
 func (h *Handlers) SharersOf(b mem.Block) []mem.NodeID {
 	e, _ := h.home(b).table.lookup(b)
 	if e == nil {
@@ -164,6 +170,8 @@ func (h *Handlers) SharersOf(b mem.Block) []mem.NodeID {
 
 // WriteFault implements proto.Software: release the extended entry and
 // charge for walking the sharer set and transmitting the invalidations.
+//
+//swex:hotpath
 func (h *Handlers) WriteFault(b mem.Block, requester mem.NodeID, invs int) sim.Cycle {
 	ns := h.home(b)
 	_, probes := ns.table.lookup(b)
@@ -183,6 +191,8 @@ func (h *Handlers) WriteFault(b mem.Block, requester mem.NodeID, invs int) sim.C
 }
 
 // AckTrap implements proto.Software for the S_NB,ACK protocols.
+//
+//swex:hotpath
 func (h *Handlers) AckTrap(b mem.Block, last bool) sim.Cycle {
 	cost, breakdown := h.cost.ackCost(last)
 	h.record(stats.HandlerRecord{
@@ -192,6 +202,8 @@ func (h *Handlers) AckTrap(b mem.Block, last bool) sim.Cycle {
 }
 
 // LastAckTrap implements proto.Software for the S_NB,LACK protocols.
+//
+//swex:hotpath
 func (h *Handlers) LastAckTrap(b mem.Block) sim.Cycle {
 	cost, breakdown := h.cost.ackCost(true)
 	h.record(stats.HandlerRecord{

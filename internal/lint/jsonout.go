@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// JSONDiagnostic is the machine-readable record swexlint -json emits,
+// one JSON object per line, for CI annotation tooling. Suppressed is the
+// allow-state: true means a //lint:allow comment silenced the finding.
+type JSONDiagnostic struct {
+	// File is the source file, relative to the requested base directory.
+	File string `json:"file"`
+	// Line is the 1-based source line.
+	Line int `json:"line"`
+	// Col is the 1-based source column.
+	Col int `json:"col"`
+	// Analyzer names the rule family that reported the violation.
+	Analyzer string `json:"analyzer"`
+	// Message states the violation in one line.
+	Message string `json:"message"`
+	// Suppressed is the allow-state: true when //lint:allow silenced it.
+	Suppressed bool `json:"suppressed"`
+}
+
+// WriteJSON renders diagnostics as newline-delimited JSON records.
+// File names are made relative to baseDir when they fall under it, so
+// output is stable across checkouts.
+func WriteJSON(w io.Writer, baseDir string, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if baseDir != "" {
+			if r, err := filepath.Rel(baseDir, name); err == nil && !strings.HasPrefix(r, "..") {
+				name = filepath.ToSlash(r)
+			}
+		}
+		if err := enc.Encode(JSONDiagnostic{
+			File:       name,
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -161,6 +161,8 @@ func abs(v int) int {
 // call order, deliveries to a given destination occur in global Send-call
 // order. The coherence protocol depends on this: a data reply sent before
 // an invalidation of the same block must arrive first.
+//
+//swex:hotpath
 func (n *Network) Send(src, dst, size int, extra sim.Cycle, deliver func()) sim.Cycle {
 	return n.SendTagged(src, dst, size, extra, nil, deliver)
 }
@@ -169,7 +171,29 @@ func (n *Network) Send(src, dst, size int, extra sim.Cycle, deliver func()) sim.
 // event (see sim.Engine.AtTagged). The protocol fabric tags deliveries
 // with the in-flight message so the model checker can enumerate what is
 // on the wire.
+//
+//swex:hotpath
 func (n *Network) SendTagged(src, dst, size int, extra sim.Cycle, tag any, deliver func()) sim.Cycle {
+	done := n.reserve(src, dst, size, extra, tag)
+	n.engine.AtTagged(done, tag, deliver)
+	return done
+}
+
+// SendCall is SendTagged with a preallocated delivery receiver instead of
+// a closure (see sim.Engine.AtCall): the fabric's pooled in-flight
+// message entries deliver themselves, so the per-message send path
+// allocates nothing.
+//
+//swex:hotpath
+func (n *Network) SendCall(src, dst, size int, extra sim.Cycle, tag any, deliver sim.Caller) sim.Cycle {
+	done := n.reserve(src, dst, size, extra, tag)
+	n.engine.AtCall(done, tag, deliver)
+	return done
+}
+
+// reserve claims the transmit and receive queue slots for one message and
+// returns its delivery cycle, charging all accounting.
+func (n *Network) reserve(src, dst, size int, extra sim.Cycle, tag any) sim.Cycle {
 	if size < 1 {
 		size = 1
 	}
@@ -186,7 +210,6 @@ func (n *Network) SendTagged(src, dst, size int, extra sim.Cycle, tag any, deliv
 		if n.Obs != nil {
 			n.Obs.MessageTimed(src, dst, size, extra, now, txStart, injected, injected, injected, at, tag)
 		}
-		n.engine.AtTagged(at, tag, deliver)
 		return at
 	}
 
@@ -203,7 +226,6 @@ func (n *Network) SendTagged(src, dst, size int, extra sim.Cycle, tag any, deliv
 	if n.Obs != nil {
 		n.Obs.MessageTimed(src, dst, size, extra, now, txStart, injected, arrival, rxStart, done, tag)
 	}
-	n.engine.AtTagged(done, tag, deliver)
 	return done
 }
 

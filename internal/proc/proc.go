@@ -67,6 +67,20 @@ type thread struct {
 	codeBase   mem.Addr
 	codeBlocks int
 	codePos    int
+
+	// Preallocated continuation funcs for the per-operation path. The
+	// lockstep alternation guarantees at most one outstanding operation
+	// per thread, so one set of continuations (and the pending request
+	// and result they read) can be reused for every operation instead of
+	// closing over each one.
+	pending     request      // the operation currently executing
+	pendingVal  uint64       // result awaiting the context-switch resume
+	executeFn   func()       // runs execute(pending)
+	ifetchFn    func()       // issue delay after the instruction fetch
+	memDoneFn   func(uint64) // memDone as a func value
+	replyFn     func(uint64) // reply as a func value
+	replyZeroFn func()       // reply(0)
+	resumeFn    func()       // reply(pendingVal) after a context switch
 }
 
 // Node is one processor: the execution engine for its application threads
@@ -113,6 +127,12 @@ func (n *Node) StartThreads(count int, fn func(*Env)) {
 			req:  make(chan request), //lint:allow determinism(unbuffered lockstep handoff; see comment above)
 			resp: make(chan uint64),  //lint:allow determinism(unbuffered lockstep handoff; see comment above)
 		}
+		t.executeFn = func() { t.execute(t.pending) }
+		t.ifetchFn = func() { t.node.f.Engine.After(1, t.executeFn) }
+		t.memDoneFn = t.memDone
+		t.replyFn = t.reply
+		t.replyZeroFn = func() { t.reply(0) }
+		t.resumeFn = func() { t.reply(t.pendingVal) }
 		n.threads = append(n.threads, t)
 		env := &Env{thread: t, P: n.f.Nodes()}
 		go func() { //lint:allow determinism(coroutine runs in strict alternation with the engine)
@@ -158,6 +178,7 @@ func (t *thread) next() {
 		return
 	}
 	t.node.Ops++
+	t.pending = r
 	// Every operation begins with an instruction fetch from the current
 	// code region (one block per operation, round-robin), then costs at
 	// least one issue cycle. Perfect-ifetch configurations make the
@@ -165,12 +186,10 @@ func (t *thread) next() {
 	if t.codeBlocks > 0 {
 		pc := t.codeBase + mem.Addr(t.codePos)*mem.WordsPerBlock
 		t.codePos = (t.codePos + 1) % t.codeBlocks
-		t.node.f.Cache(t.node.ID).Ifetch(pc, func() {
-			t.node.f.Engine.After(1, func() { t.execute(r) })
-		})
+		t.node.f.Cache(t.node.ID).Ifetch(pc, t.ifetchFn)
 		return
 	}
-	t.node.f.Engine.After(1, func() { t.execute(r) })
+	t.node.f.Engine.After(1, t.executeFn)
 }
 
 // execute performs one operation and schedules the reply.
@@ -179,13 +198,13 @@ func (t *thread) execute(r request) {
 	switch r.kind {
 	case opRead:
 		n.MemOps++
-		n.f.Cache(n.ID).Access(r.addr, proto.Op{Done: t.memDone})
+		n.f.Cache(n.ID).Access(r.addr, proto.Op{Done: t.memDoneFn})
 	case opWrite:
 		n.MemOps++
-		n.f.Cache(n.ID).Access(r.addr, proto.Op{Write: true, Value: r.value, Done: t.memDone})
+		n.f.Cache(n.ID).Access(r.addr, proto.Op{Write: true, Value: r.value, Done: t.memDoneFn})
 	case opRMW:
 		n.MemOps++
-		n.f.Cache(n.ID).Access(r.addr, proto.Op{Write: true, RMW: r.rmw, Done: t.memDone})
+		n.f.Cache(n.ID).Access(r.addr, proto.Op{Write: true, RMW: r.rmw, Done: t.memDoneFn})
 	case opCompute:
 		done := n.f.Traps.Reserve(n.ID, r.cycles)
 		if n.f.Sink != nil {
@@ -195,13 +214,13 @@ func (t *thread) execute(r request) {
 				Cat: trace.CatProc, Op: trace.OpCompute, Name: "compute",
 			})
 		}
-		n.f.Engine.At(done, func() { t.reply(0) })
+		n.f.Engine.At(done, t.replyZeroFn)
 	case opWatch:
-		n.f.Cache(n.ID).Watch(r.addr, r.old, t.reply)
+		n.f.Cache(n.ID).Watch(r.addr, r.old, t.replyFn)
 	case opCheckIn:
-		n.f.Cache(n.ID).CheckIn(r.addr, func() { t.reply(0) })
+		n.f.Cache(n.ID).CheckIn(r.addr, t.replyZeroFn)
 	case opCheckOut:
-		n.f.Cache(n.ID).CheckOut(r.addr, func() { t.reply(0) })
+		n.f.Cache(n.ID).CheckOut(r.addr, t.replyZeroFn)
 	default:
 		panic(fmt.Sprintf("proc: unknown op kind %d", r.kind))
 	}
@@ -212,7 +231,8 @@ func (t *thread) execute(r request) {
 // switches away on every miss); a single-context node resumes directly.
 func (t *thread) memDone(v uint64) {
 	if len(t.node.threads) > 1 {
-		t.node.f.Engine.After(ContextSwitchCycles, func() { t.reply(v) })
+		t.pendingVal = v
+		t.node.f.Engine.After(ContextSwitchCycles, t.resumeFn)
 		return
 	}
 	t.reply(v)

@@ -115,6 +115,8 @@ func (cc *CacheCtl) HasBlock(b mem.Block) (cache.Line, bool) { return cc.c.Peek(
 // Access presents one data operation. Done fires when it commits; for
 // misses that is when the fill (or ownership grant) arrives and the
 // operation replays.
+//
+//swex:hotpath
 func (cc *CacheCtl) Access(a mem.Addr, op Op) { cc.access(a, op, false) }
 
 // access is Access plus the watch-waiter marker (see pendingOp.watch).
@@ -186,6 +188,8 @@ func (cc *CacheCtl) issue(b mem.Block, t *txn) {
 // Instructions are read-only and homed locally, so a miss fills from local
 // memory without coherence traffic; what matters is that fills occupy a
 // line in the combined cache and can displace shared data.
+//
+//swex:hotpath
 func (cc *CacheCtl) Ifetch(pc mem.Addr, done func()) {
 	if cc.cfg.PerfectIfetch {
 		done()
@@ -364,6 +368,8 @@ func (cc *CacheCtl) install(l cache.Line) {
 }
 
 // Deliver handles a protocol message addressed to this cache.
+//
+//swex:hotpath
 func (cc *CacheCtl) Deliver(m Msg) {
 	switch m.Kind {
 	case MsgRDATA:

@@ -52,20 +52,47 @@ type Fabric struct {
 	// under "msg.dropped".
 	Fault func(Msg) bool
 
-	homes    []*HomeCtl
-	caches   []*CacheCtl
-	checker  *Checker
-	inflight []*flight
-	txnSeq   uint64 // trace transaction ids (tracing enabled only)
-	msgSeq   uint64 // trace message sequence numbers
+	homes      []*HomeCtl
+	caches     []*CacheCtl
+	checker    *Checker
+	inflight   []*flight
+	flightPool []*flight // retired entries awaiting reuse
+	txnSeq     uint64    // trace transaction ids (tracing enabled only)
+	msgSeq     uint64    // trace message sequence numbers
 }
 
 // flight is one registered in-flight message; its identity ties the
 // delivery event back to the registry entry, and it doubles as the
-// delivery event's inspection tag.
+// delivery event's inspection tag and its delivery receiver (sim.Caller).
+// Entries are pooled on the owning Fabric: a retired flight returns to
+// flightPool, so the steady-state send path allocates nothing.
 type flight struct {
+	f *Fabric
 	m Msg
 }
+
+// Fire delivers the message: it retires the registry entry, returns it to
+// the pool, and hands the message to the destination controller. The pool
+// return happens before Deliver so nested sends can reuse the slot.
+func (fl *flight) Fire() {
+	f, m := fl.f, fl.m
+	f.retire(fl)
+	f.flightPool = append(f.flightPool, fl)
+	if m.Kind.ToHome() {
+		f.homes[m.Dst].Deliver(m)
+	} else {
+		f.caches[m.Dst].Deliver(m)
+	}
+}
+
+// msgCounterNames precomputes the per-kind counter keys so the send path
+// does not rebuild "msg.<kind>" strings per message.
+var msgCounterNames = func() (out [numMsgKinds]string) {
+	for k := MsgKind(0); k < numMsgKinds; k++ {
+		out[k] = "msg." + k.String()
+	}
+	return out
+}()
 
 // blockTag is the inspection tag for scheduled protocol work that is not
 // an in-flight message: handler completions, queued home processing,
@@ -85,9 +112,22 @@ type blockTag struct {
 // for in-flight messages), and a label rendered at scheduling time would
 // bake in the absolute epoch — a history artifact that would split
 // logically identical states.
+//
+// Like flight, the tag doubles as the event's delivery receiver
+// (sim.Caller) and is pooled on the owning HomeCtl, so queueing a message
+// for hardware processing allocates nothing in steady state.
 type procTag struct {
+	h    *HomeCtl
 	node mem.NodeID
 	m    Msg
+}
+
+// Fire processes the queued message, returning the tag to its
+// controller's pool first so nested deliveries can reuse the slot.
+func (t *procTag) Fire() {
+	h, m := t.h, t.m
+	h.jobPool = append(h.jobPool, t)
+	h.process(m)
 }
 
 // NewFabric builds the fabric and both controllers for every node.
@@ -135,6 +175,8 @@ func (f *Fabric) Cache(id mem.NodeID) *CacheCtl { return f.caches[id] }
 
 // Send injects a protocol message into the network and delivers it to the
 // destination controller when it arrives.
+//
+//swex:hotpath
 func (f *Fabric) Send(m Msg) { f.SendDelayed(m, 0) }
 
 // SendDelayed injects a message whose contents take extra cycles to
@@ -142,6 +184,8 @@ func (f *Fabric) Send(m Msg) { f.SendDelayed(m, 0) }
 // place in the network queues immediately, so per-destination delivery
 // order always follows call order — the invariant the protocol's
 // data-before-invalidation races rely on.
+//
+//swex:hotpath
 func (f *Fabric) SendDelayed(m Msg, extra sim.Cycle) {
 	if f.Fault != nil && f.Fault(m) {
 		f.Counters.Inc("msg.dropped")
@@ -150,18 +194,19 @@ func (f *Fabric) SendDelayed(m Msg, extra sim.Cycle) {
 		}
 		return
 	}
-	f.Counters.Inc("msg." + m.Kind.String())
+	f.Counters.Inc(msgCounterNames[m.Kind])
 	f.traceMsg(m)
-	fl := &flight{m: m}
+	var fl *flight
+	if n := len(f.flightPool); n > 0 {
+		fl = f.flightPool[n-1]
+		f.flightPool[n-1] = nil
+		f.flightPool = f.flightPool[:n-1]
+	} else {
+		fl = &flight{f: f}
+	}
+	fl.m = m
 	f.inflight = append(f.inflight, fl)
-	f.Net.SendTagged(int(m.Src), int(m.Dst), f.Timing.Flits(m.Kind), extra, fl, func() {
-		f.retire(fl)
-		if m.Kind.ToHome() {
-			f.homes[m.Dst].Deliver(m)
-		} else {
-			f.caches[m.Dst].Deliver(m)
-		}
-	})
+	f.Net.SendCall(int(m.Src), int(m.Dst), f.Timing.Flits(m.Kind), extra, fl, fl)
 }
 
 // retire removes a delivered message from the in-flight registry.

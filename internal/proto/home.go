@@ -53,6 +53,10 @@ type HomeCtl struct {
 	// mig holds the migratory-data detector state (see migratory.go).
 	mig map[mem.Block]*migState
 
+	// jobPool recycles the procTag carriers that queue messages for
+	// hardware processing (see procTag.Fire).
+	jobPool []*procTag
+
 	// Traps counts software handler invocations by kind.
 	Traps uint64
 	// BusySent counts busy (retry) replies.
@@ -77,6 +81,8 @@ func newHomeCtl(f *Fabric, node mem.NodeID) *HomeCtl {
 }
 
 // Deliver queues an incoming protocol message for hardware processing.
+//
+//swex:hotpath
 func (h *HomeCtl) Deliver(m Msg) {
 	if mem.HomeOfBlock(m.Block) != h.node {
 		panic(fmt.Sprintf("proto: node %d received home message for block homed on %d",
@@ -92,9 +98,16 @@ func (h *HomeCtl) Deliver(m Msg) {
 			Cat: trace.CatHWDir, Op: trace.OpHomeProc, Name: m.Kind.String(),
 		})
 	}
-	e.AtTagged(start+h.f.Timing.HomeProc,
-		procTag{node: h.node, m: m},
-		func() { h.process(m) })
+	var t *procTag
+	if n := len(h.jobPool); n > 0 {
+		t = h.jobPool[n-1]
+		h.jobPool[n-1] = nil
+		h.jobPool = h.jobPool[:n-1]
+	} else {
+		t = &procTag{h: h, node: h.node}
+	}
+	t.m = m
+	e.AtCall(start+h.f.Timing.HomeProc, t, t)
 }
 
 // specFor returns the protocol governing a block: its override if one was

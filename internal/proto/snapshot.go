@@ -128,7 +128,7 @@ func (f *Fabric) snapPending(buf *bytes.Buffer) {
 		case *flight:
 			f.snapMsg(buf, tag.m)
 			fmt.Fprintf(buf, ";")
-		case procTag:
+		case *procTag:
 			// A message queued at a busy home is encoded exactly like one
 			// still in flight, distinguished by the prefix: it carries the
 			// same logical content and the same epoch-relativity rules.
@@ -176,7 +176,7 @@ func (f *Fabric) PendingDescriptions() []string {
 		switch tag := ev.Tag.(type) {
 		case *flight:
 			out = append(out, "deliver "+tag.m.String())
-		case procTag:
+		case *procTag:
 			out = append(out, fmt.Sprintf("proc:%d:%s", tag.node, tag.m.String()))
 		case *retryTag:
 			out = append(out, fmt.Sprintf("retry node%d blk%d", tag.cc.node, tag.b))
@@ -206,7 +206,7 @@ func (f *Fabric) NextEventBlock() (mem.Block, bool) {
 	switch tag := evs[0].Tag.(type) {
 	case *flight:
 		return tag.m.Block, true
-	case procTag:
+	case *procTag:
 		return tag.m.Block, true
 	case *retryTag:
 		return tag.b, true

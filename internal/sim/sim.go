@@ -31,16 +31,31 @@ func (c Cycle) Seconds() float64 { return float64(c) / CyclesPerSecond }
 // Event is a callback scheduled to run at a particular cycle.
 type Event func()
 
+// Caller is the allocation-free alternative to Event: a preallocated
+// receiver whose Fire method runs when the event's cycle arrives. A hot
+// caller keeps one Caller per logical operation (or a free list of them)
+// and schedules it with AtCall; a pointer stores into the event without
+// the closure allocation an Event capture costs, and without the boxing
+// an interface conversion of a non-pointer would cost.
+type Caller interface{ Fire() }
+
 type scheduledEvent struct {
 	at    Cycle
 	seq   uint64
-	fire  Event
-	tag   any // optional inspection tag (see AtTagged)
-	index int // heap index; -1 once popped or cancelled
+	fire  Event  // closure form; nil when call is set
+	call  Caller // receiver form; nil when fire is set
+	tag   any    // optional inspection tag (see AtTagged)
+	index int    // heap index; -1 once popped or cancelled
+	gen   uint64 // bumped on every release, invalidating stale EventIDs
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *scheduledEvent }
+// EventID identifies a scheduled event so it can be cancelled. Events are
+// pooled: the generation captured at scheduling time keeps a stale ID
+// (held across the event's firing) from cancelling the slot's next tenant.
+type EventID struct {
+	ev  *scheduledEvent
+	gen uint64
+}
 
 type eventHeap []*scheduledEvent
 
@@ -82,6 +97,7 @@ type Engine struct {
 	seq    uint64
 	events eventHeap
 	fired  uint64
+	free   []*scheduledEvent // released events awaiting reuse
 
 	// Observer, when non-nil, is invoked after every dispatched event
 	// with the clock and the number of events still pending. It feeds
@@ -116,13 +132,53 @@ func (e *Engine) At(at Cycle, fn Event) EventID {
 // observers (the model checker's state-fingerprint layer) can enumerate
 // what is queued without being able to look inside the closures.
 func (e *Engine) AtTagged(at Cycle, tag any, fn Event) EventID {
+	ev := e.schedule(at, tag)
+	ev.fire = fn
+	return EventID{ev, ev.gen}
+}
+
+// AtCall schedules a preallocated Caller to fire at the absolute cycle
+// at, with an inspection tag. It is the allocation-free scheduling path:
+// the event slot comes from the engine's free list and the receiver is
+// caller-owned, so steady-state scheduling allocates nothing.
+func (e *Engine) AtCall(at Cycle, tag any, c Caller) EventID {
+	ev := e.schedule(at, tag)
+	ev.call = c
+	return EventID{ev, ev.gen}
+}
+
+// AfterCall schedules a Caller to fire delay cycles from now (see AtCall).
+func (e *Engine) AfterCall(delay Cycle, tag any, c Caller) EventID {
+	return e.AtCall(e.now+delay, tag, c)
+}
+
+// schedule acquires an event slot (reusing a released one when possible)
+// and enqueues it. Scheduling in the past panics: it indicates a protocol
+// bug, and silently reordering time would destroy determinism.
+func (e *Engine) schedule(at Cycle, tag any) *scheduledEvent {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at cycle %d, now %d", at, e.now))
 	}
-	ev := &scheduledEvent{at: at, seq: e.seq, fire: fn, tag: tag}
+	var ev *scheduledEvent
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = new(scheduledEvent)
+	}
+	ev.at, ev.seq, ev.tag = at, e.seq, tag
 	e.seq++
 	heap.Push(&e.events, ev)
-	return EventID{ev}
+	return ev
+}
+
+// release returns a fired event slot to the free list, invalidating any
+// EventID still holding it.
+func (e *Engine) release(ev *scheduledEvent) {
+	ev.gen++
+	ev.fire, ev.call, ev.tag = nil, nil, nil
+	e.free = append(e.free, ev)
 }
 
 // After schedules fn to run delay cycles from now.
@@ -164,18 +220,22 @@ func (e *Engine) PendingTagged() []TaggedEvent {
 }
 
 // Cancel removes a scheduled event. Cancelling an event that already fired
-// (or was already cancelled) is a no-op and returns false.
+// (or was already cancelled) is a no-op and returns false; the generation
+// check makes this safe even after the pooled slot has been reused.
 func (e *Engine) Cancel(id EventID) bool {
-	if id.ev == nil || id.ev.index < 0 {
+	if id.ev == nil || id.ev.gen != id.gen || id.ev.index < 0 {
 		return false
 	}
 	heap.Remove(&e.events, id.ev.index)
 	id.ev.index = -1
+	e.release(id.ev)
 	return true
 }
 
 // Step fires the next event, advancing the clock to its cycle. It returns
 // false if the queue is empty.
+//
+//swex:hotpath
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
@@ -183,7 +243,13 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.events).(*scheduledEvent)
 	e.now = ev.at
 	e.fired++
-	ev.fire()
+	fire, call := ev.fire, ev.call
+	e.release(ev)
+	if call != nil {
+		call.Fire()
+	} else {
+		fire()
+	}
 	if e.Observer != nil {
 		e.Observer(e.now, len(e.events))
 	}
@@ -193,6 +259,8 @@ func (e *Engine) Step() bool {
 // Run fires events until the queue drains or the clock passes limit.
 // A limit of zero means no limit. It returns the cycle at which the engine
 // stopped and whether the queue drained (as opposed to hitting the limit).
+//
+//swex:hotpath
 func (e *Engine) Run(limit Cycle) (Cycle, bool) {
 	for len(e.events) > 0 {
 		if limit != 0 && e.events[0].at > limit {
