@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet race check mc mc-smoke mc-por-smoke bench bench-sweep trace-smoke sweep-smoke
+.PHONY: all build test lint vet race check mc mc-smoke mc-por-smoke bench bench-sweep trace-smoke sweep-smoke swexd-smoke
 
 all: build test
 
@@ -22,11 +22,12 @@ vet:
 	$(GO) vet ./...
 
 # race exercises the only packages that touch goroutines (the engine, the
-# network model, and the sweep orchestrator's worker pool) under the race
-# detector. The simulation core is single-threaded by contract, so the
-# interesting schedules are in the lockstep handoff and the pool merge.
+# network model, the sweep orchestrator's worker pool, and the distributed
+# sweep service) under the race detector. The simulation core is
+# single-threaded by contract, so the interesting schedules are in the
+# lockstep handoff, the pool merge, and the coordinator's lease machinery.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/mesh/... ./internal/sweep/...
+	$(GO) test -race ./internal/sim/... ./internal/mesh/... ./internal/sweep/... ./internal/swexd/...
 
 # mc exhausts the model checker's full-depth configurations over the
 # whole protocol spectrum, with sleep-set partial-order reduction on
@@ -75,13 +76,25 @@ bench-sweep:
 # and crash-resume suites, then the swexsweep CLI cold and warm over one
 # cache directory — the warm run must execute zero simulations.
 sweep-smoke:
-	$(GO) test ./internal/sweep/ -run 'TestCrashResume|TestCacheRoundTrip' -count=1
+	$(GO) test ./internal/sweep/ -run 'TestCrashResume|TestCacheRoundTrip|TestCompact' -count=1
 	$(GO) test . -run 'TestSweepOutputDeterministic|TestSharedBaselineComputedOnce' -count=1
 	d=$$(mktemp -d) && \
 	  $(GO) run ./cmd/swexsweep -quick -workers 4 -cache $$d fig2 >/dev/null && \
 	  $(GO) run ./cmd/swexsweep -quick -workers 4 -cache $$d fig2 2>&1 >/dev/null | grep -q ' 0 executed' && \
 	  $(GO) run ./cmd/swexsweep -status -cache $$d >/dev/null && \
+	  $(GO) run ./cmd/swexsweep -cache $$d compact >/dev/null && \
+	  $(GO) run ./cmd/swexsweep -quick -workers 4 -cache $$d fig2 2>&1 >/dev/null | grep -q ' 0 executed' && \
 	  rm -rf $$d
+
+# swexd-smoke exercises the distributed sweep service end to end: the
+# coordinator/worker suite (lease expiry, worker loss mid-lease, the
+# HTTP/NDJSON front end, cross-process warm resubmission), then the
+# acceptance check — a coordinator with three in-process workers renders
+# the full quick exhibit matrix byte-identically to a serial run, and a
+# warm resubmission executes zero simulations.
+swexd-smoke:
+	$(GO) test ./internal/swexd/ -count=1
+	$(GO) test . -run 'TestDistributedExhibitsByteIdentical' -count=1
 
 # trace-smoke exercises the tracing pipeline end to end: a traced run must
 # export, export deterministically, and round-trip the profile view. The
@@ -91,4 +104,4 @@ trace-smoke:
 	$(GO) run ./cmd/swextrace -worker 4 -iters 2 -nodes 4 -protocol h2 -o /tmp/swextrace-smoke.json
 	$(GO) run ./cmd/swextrace profile -worker 4 -iters 2 -nodes 4 -protocol h2 >/dev/null
 
-check: vet lint test race mc-smoke mc-por-smoke trace-smoke sweep-smoke
+check: vet lint test race mc-smoke mc-por-smoke trace-smoke sweep-smoke swexd-smoke

@@ -5,8 +5,10 @@
 // Usage:
 //
 //	swexsweep [-quick] [-workers N] [-cache DIR] <matrix>... | all
+//	swexsweep -coordinator URL [-quick] <matrix>... | all
 //	swexsweep -list [-quick] <matrix>... | all
 //	swexsweep -status -cache DIR
+//	swexsweep -cache DIR compact
 //
 // Matrices: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 scaling
 //
@@ -18,13 +20,23 @@
 // simulations. Sweep output is byte-identical to a serial run at any
 // worker count.
 //
+// With -coordinator, jobs execute on a swexd coordinator's workers (see
+// cmd/swexd) instead of in process; the rendered exhibits are
+// byte-identical either way, and the coordinator's shared cache dedups
+// across every client that ever submitted the same jobs.
+//
 // -list prints each job's content hash and description without running
 // anything (the matrix as the cache will see it). -status summarizes a
-// cache directory's manifest journal: distinct completed and failed jobs,
-// with the failures' journaled errors.
+// cache directory's manifest journal — distinct completed and failed
+// jobs, with the failures' journaled errors (stacks included) — and
+// exits non-zero when the journal records failures, so scripts can gate
+// on a clean sweep. The compact subcommand rewrites the manifest journal
+// down to one record per live entry (the journal is append-only during
+// sweeps, so retried and re-journaled jobs accumulate superseded lines).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,93 +44,8 @@ import (
 
 	"swex"
 	"swex/internal/sweep"
+	"swex/internal/swexd"
 )
-
-// matrix names one sweep-backed experiment: its job builder and its
-// assembler/renderer.
-type matrix struct {
-	name    string
-	caption string
-	jobs    func(swex.Options) []swex.SweepJob
-	run     func(swex.Options) (string, error)
-}
-
-func matrices() []matrix {
-	return []matrix{
-		{"table1", "average software-extension latencies (C vs assembly)", swex.Table1Jobs,
-			func(o swex.Options) (string, error) {
-				d, err := swex.Table1(o)
-				if err != nil {
-					return "", err
-				}
-				return d.Table().String(), nil
-			}},
-		{"table2", "median handler cycle breakdown", swex.Table2Jobs,
-			func(o swex.Options) (string, error) {
-				d, err := swex.Table2(o)
-				if err != nil {
-					return "", err
-				}
-				return d.String(), nil
-			}},
-		{"table3", "application characteristics and sequential times", swex.Table3Jobs,
-			func(o swex.Options) (string, error) {
-				rows, err := swex.Table3(o)
-				if err != nil {
-					return "", err
-				}
-				return swex.Table3Table(rows).String(), nil
-			}},
-		{"fig2", "WORKER protocol performance vs worker-set size", swex.Figure2Jobs,
-			func(o swex.Options) (string, error) {
-				d, err := swex.Figure2(o)
-				if err != nil {
-					return "", err
-				}
-				return d.Figure().String(), nil
-			}},
-		{"fig3", "TSP cache-configuration study (instruction/data thrashing)", swex.Figure3Jobs,
-			func(o swex.Options) (string, error) {
-				d, err := swex.Figure3(o)
-				if err != nil {
-					return "", err
-				}
-				return d.Table().String(), nil
-			}},
-		{"fig4", "application speedups across the protocol spectrum", swex.Figure4Jobs,
-			func(o swex.Options) (string, error) {
-				d, err := swex.Figure4(o)
-				if err != nil {
-					return "", err
-				}
-				return d.Table().String(), nil
-			}},
-		{"fig5", "TSP on 256 nodes", swex.Figure5Jobs,
-			func(o swex.Options) (string, error) {
-				d, err := swex.Figure5(o)
-				if err != nil {
-					return "", err
-				}
-				return d.Table().String(), nil
-			}},
-		{"fig6", "EVOLVE worker-set histogram", swex.Figure6Jobs,
-			func(o swex.Options) (string, error) {
-				d, err := swex.Figure6(o)
-				if err != nil {
-					return "", err
-				}
-				return d.Table().String(), nil
-			}},
-		{"scaling", "TSP speedup vs machine size across the spectrum", swex.ScalingJobs,
-			func(o swex.Options) (string, error) {
-				d, err := swex.ScalingStudy(o)
-				if err != nil {
-					return "", err
-				}
-				return d.Figure().String(), nil
-			}},
-	}
-}
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
@@ -128,8 +55,9 @@ func main() {
 	retries := flag.Int("retries", 0, "re-execution attempts for failed jobs")
 	cycleBudget := flag.Int64("cycle-budget", 0, "per-job simulated-cycle limit (0 = unbounded)")
 	wallBudget := flag.Duration("wall-budget", 0, "per-job wall-clock failure threshold (0 = off; makes failures machine-speed dependent)")
+	coordinator := flag.String("coordinator", "", "swexd coordinator base URL (e.g. http://host:7009); jobs execute on its workers")
 	list := flag.Bool("list", false, "print the job matrix (hash and description) without running")
-	status := flag.Bool("status", false, "summarize the cache manifest journal and exit")
+	status := flag.Bool("status", false, "summarize the cache manifest journal and exit (non-zero if failures are journaled)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -138,7 +66,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "swexsweep: -status needs -cache DIR")
 			os.Exit(2)
 		}
-		if err := printStatus(*cacheDir); err != nil {
+		failed, err := printStatus(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swexsweep: %v\n", err)
+			os.Exit(1)
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if len(flag.Args()) == 1 && flag.Args()[0] == "compact" {
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "swexsweep: compact needs -cache DIR")
+			os.Exit(2)
+		}
+		if err := compact(*cacheDir); err != nil {
 			fmt.Fprintf(os.Stderr, "swexsweep: %v\n", err)
 			os.Exit(1)
 		}
@@ -154,16 +98,21 @@ func main() {
 
 	if *list {
 		for _, m := range selected {
-			fmt.Printf("# %s: %s\n", m.name, m.caption)
-			for _, job := range m.jobs(opts) {
+			fmt.Printf("# %s: %s\n", m.Name, m.Caption)
+			for _, job := range m.Jobs(opts) {
 				key, err := job.Key(*salt)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "swexsweep: %s: %v\n", m.name, err)
+					fmt.Fprintf(os.Stderr, "swexsweep: %s: %v\n", m.Name, err)
 					os.Exit(1)
 				}
 				fmt.Printf("%s  %s\n", sweep.HashKey(key)[:16], job)
 			}
 		}
+		return
+	}
+
+	if *coordinator != "" {
+		runRemote(*coordinator, *salt, selected, opts)
 		return
 	}
 
@@ -185,35 +134,64 @@ func main() {
 	for _, m := range selected {
 		start := time.Now()
 		before := sweeper.TotalExecs()
-		out, err := m.run(opts)
+		out, err := m.Render(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "swexsweep: %s: %v\n", m.name, err)
+			fmt.Fprintf(os.Stderr, "swexsweep: %s: %v\n", m.Name, err)
 			os.Exit(1)
 		}
 		executed := sweeper.TotalExecs() - before
-		jobs := len(m.jobs(opts))
-		fmt.Printf("== %s: %s\n\n%s\n", m.name, m.caption, out)
+		jobs := len(m.Jobs(opts))
+		fmt.Printf("== %s: %s\n\n%s\n", m.Name, m.Caption, out)
 		fmt.Fprintf(os.Stderr, "swexsweep: %s: %d job(s), %d executed, %d from cache, %.1fs on %d worker(s)\n",
-			m.name, jobs, executed, jobs-executed, time.Since(start).Seconds(), sweeper.Workers())
+			m.Name, jobs, executed, jobs-executed, time.Since(start).Seconds(), sweeper.Workers())
 	}
 }
 
+// runRemote renders the selected matrices through a swexd coordinator.
+// Execution counts come from the coordinator's counters, so "executed"
+// reflects actual simulations anywhere in the cluster and "from cache"
+// covers hits against the coordinator's shared store.
+func runRemote(base, salt string, selected []swex.Matrix, opts swex.Options) {
+	ctx := context.Background()
+	client := &swexd.Client{Base: base, Salt: salt}
+	opts.Sweep = client
+	for _, m := range selected {
+		start := time.Now()
+		before := remoteExecs(ctx, client)
+		out, err := m.Render(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swexsweep: %s: %v\n", m.Name, err)
+			os.Exit(1)
+		}
+		executed := remoteExecs(ctx, client) - before
+		jobs := int64(len(m.Jobs(opts)))
+		fmt.Printf("== %s: %s\n\n%s\n", m.Name, m.Caption, out)
+		fmt.Fprintf(os.Stderr, "swexsweep: %s: %d job(s), %d executed, %d from cache, %.1fs via %s\n",
+			m.Name, jobs, executed, jobs-executed, time.Since(start).Seconds(), base)
+	}
+}
+
+// remoteExecs samples the coordinator's execution counter (0 when
+// unreachable; the subsequent submit will surface the real error).
+func remoteExecs(ctx context.Context, client *swexd.Client) int64 {
+	vars, err := client.Vars(ctx)
+	if err != nil {
+		return 0
+	}
+	return vars["executions"]
+}
+
 // selectMatrices resolves the argument list ("all" or matrix names).
-func selectMatrices(args []string) ([]matrix, bool) {
-	all := matrices()
+func selectMatrices(args []string) ([]swex.Matrix, bool) {
 	if len(args) == 0 {
 		return nil, false
 	}
 	if len(args) == 1 && args[0] == "all" {
-		return all, true
+		return swex.Matrices(), true
 	}
-	byName := map[string]matrix{}
-	for _, m := range all {
-		byName[m.name] = m
-	}
-	var selected []matrix
+	var selected []swex.Matrix
 	for _, a := range args {
-		m, ok := byName[a]
+		m, ok := swex.MatrixByName(a)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "swexsweep: unknown matrix %q\n\n", a)
 			return nil, false
@@ -223,11 +201,12 @@ func selectMatrices(args []string) ([]matrix, bool) {
 	return selected, true
 }
 
-// printStatus summarizes a cache directory's manifest journal.
-func printStatus(dir string) error {
+// printStatus summarizes a cache directory's manifest journal and returns
+// the number of journaled failures.
+func printStatus(dir string) (failed int, err error) {
 	c, err := sweep.OpenCache(dir)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer c.Close()
 	st := c.Status()
@@ -235,18 +214,36 @@ func printStatus(dir string) error {
 	for _, f := range st.Failures {
 		fmt.Printf("  FAILED %s\n    %s\n", f.Key, f.Err)
 	}
+	return st.Failed, nil
+}
+
+// compact rewrites a cache directory's manifest journal down to its live
+// records.
+func compact(dir string) error {
+	c, err := sweep.OpenCache(dir)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	records, err := c.Compact()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cache %s: manifest compacted to %d record(s)\n", dir, records)
 	return nil
 }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: swexsweep [flags] <matrix>... | all
+       swexsweep -coordinator URL [-quick] <matrix>... | all
        swexsweep -list [-quick] <matrix>... | all
        swexsweep -status -cache DIR
+       swexsweep -cache DIR compact
 
 matrices:
 `)
-	for _, m := range matrices() {
-		fmt.Fprintf(os.Stderr, "  %-10s %s\n", m.name, m.caption)
+	for _, m := range swex.Matrices() {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", m.Name, m.Caption)
 	}
 	fmt.Fprintf(os.Stderr, "\nflags:\n")
 	flag.PrintDefaults()

@@ -26,6 +26,18 @@ import (
 // for example the sequential baselines common to Table 3, Figure 4,
 // Figure 5, and the scaling study run once, not four times.
 
+// JobRunner is where an experiment's sweep jobs execute: the in-process
+// Sweeper, or a swexd coordinator client that leases the jobs out to
+// remote workers. Implementations must return results index-aligned with
+// the submitted jobs (fail-fast on the first failure by submission order),
+// which is what makes experiment output independent of where and in what
+// order the simulations actually ran.
+type JobRunner interface {
+	// Run executes the matrix and returns one result per job in
+	// submission order, or the first failure by submission order.
+	Run(ctx context.Context, jobs []sweep.Job) ([]sweep.Result, error)
+}
+
 // Options controls how an experiment runs.
 type Options struct {
 	// Quick shrinks problem sizes and machine counts so the experiment
@@ -35,12 +47,15 @@ type Options struct {
 	// Sweep is the job runner experiments execute on. Nil uses a private
 	// in-memory runner with one worker per core. Sharing one runner
 	// across experiments shares its result cache (and, when configured
-	// with a cache directory, persists results across processes).
-	Sweep *sweep.Runner
+	// with a cache directory, persists results across processes). A
+	// distributed runner (swexd's coordinator client) slots in here too:
+	// the assemblers consume results by submission index either way, so
+	// output is byte-identical wherever the simulations ran.
+	Sweep JobRunner
 }
 
 // sweeper returns the runner the experiment executes on.
-func (o Options) sweeper() *sweep.Runner {
+func (o Options) sweeper() JobRunner {
 	if o.Sweep != nil {
 		return o.Sweep
 	}
@@ -725,4 +740,114 @@ func (d *ScalingData) Figure() *report.Figure {
 		}
 	}
 	return f
+}
+
+// ------------------------------------------------------ matrix registry
+
+// Matrix names one sweep-backed experiment: a job-matrix builder paired
+// with the assembler/renderer that turns its results into the paper's
+// exhibit. The registry is what lets the sweep and distributed front ends
+// (cmd/swexsweep, cmd/swexd) resolve exhibits by name and serialize their
+// job matrices for submission — every Jobs() element is a canonical,
+// hashable, JSON-serializable sweep.Job.
+type Matrix struct {
+	// Name is the CLI-facing exhibit name ("table1" .. "scaling").
+	Name string
+	// Caption is the one-line human description of the exhibit.
+	Caption string
+	// Jobs enumerates the matrix's simulation points in submission order.
+	Jobs func(Options) []SweepJob
+	// Render runs the matrix through Options.Sweep and renders the
+	// exhibit. The output is a pure function of the job results, so it is
+	// byte-identical wherever and in whatever order the jobs executed.
+	Render func(Options) (string, error)
+}
+
+// Matrices returns every sweep-backed exhibit in paper order: the three
+// tables, Figures 2-6, and the scaling study.
+func Matrices() []Matrix {
+	return []Matrix{
+		{"table1", "average software-extension latencies (C vs assembly)", Table1Jobs,
+			func(o Options) (string, error) {
+				d, err := Table1(o)
+				if err != nil {
+					return "", err
+				}
+				return d.Table().String(), nil
+			}},
+		{"table2", "median handler cycle breakdown", Table2Jobs,
+			func(o Options) (string, error) {
+				d, err := Table2(o)
+				if err != nil {
+					return "", err
+				}
+				return d.String(), nil
+			}},
+		{"table3", "application characteristics and sequential times", Table3Jobs,
+			func(o Options) (string, error) {
+				rows, err := Table3(o)
+				if err != nil {
+					return "", err
+				}
+				return Table3Table(rows).String(), nil
+			}},
+		{"fig2", "WORKER protocol performance vs worker-set size", Figure2Jobs,
+			func(o Options) (string, error) {
+				d, err := Figure2(o)
+				if err != nil {
+					return "", err
+				}
+				return d.Figure().String(), nil
+			}},
+		{"fig3", "TSP cache-configuration study (instruction/data thrashing)", Figure3Jobs,
+			func(o Options) (string, error) {
+				d, err := Figure3(o)
+				if err != nil {
+					return "", err
+				}
+				return d.Table().String(), nil
+			}},
+		{"fig4", "application speedups across the protocol spectrum", Figure4Jobs,
+			func(o Options) (string, error) {
+				d, err := Figure4(o)
+				if err != nil {
+					return "", err
+				}
+				return d.Table().String(), nil
+			}},
+		{"fig5", "TSP on 256 nodes", Figure5Jobs,
+			func(o Options) (string, error) {
+				d, err := Figure5(o)
+				if err != nil {
+					return "", err
+				}
+				return d.Table().String(), nil
+			}},
+		{"fig6", "EVOLVE worker-set histogram", Figure6Jobs,
+			func(o Options) (string, error) {
+				d, err := Figure6(o)
+				if err != nil {
+					return "", err
+				}
+				return d.Table().String(), nil
+			}},
+		{"scaling", "TSP speedup vs machine size across the spectrum", ScalingJobs,
+			func(o Options) (string, error) {
+				d, err := ScalingStudy(o)
+				if err != nil {
+					return "", err
+				}
+				return d.Figure().String(), nil
+			}},
+	}
+}
+
+// MatrixByName resolves one exhibit from the registry by its CLI name.
+func MatrixByName(name string) (Matrix, bool) {
+	for _, m := range Matrices() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Matrix{}, false
 }

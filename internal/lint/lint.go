@@ -140,6 +140,7 @@ func DefaultConfig() *Config {
 			"swex/internal/lint",
 			"swex/internal/mc",
 			"swex/internal/sweep",
+			"swex/internal/swexd",
 			"swex/internal/trace",
 		},
 		HotReportPaths: []string{

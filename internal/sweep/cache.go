@@ -218,6 +218,85 @@ func (c *Cache) journal(m manifestLine) error {
 	return nil
 }
 
+// Compact rewrites the manifest journal down to one record per live
+// entry: every "done" key (sorted by hash, so the output is deterministic)
+// followed by every still-standing "failed" key. The journal is
+// append-only during normal operation — every Put and PutFailure adds a
+// line, and a key that fails, succeeds on retry, or is re-journaled across
+// sweeps accumulates superseded records — so a long-lived cache directory
+// grows without bound until compacted. The rewrite goes through a
+// temporary file that is fully written, synced, and atomically renamed
+// over the manifest, so a crash mid-compaction leaves either the old
+// journal or the new one, never a truncated hybrid. A torn final line in
+// the input journal (a crash mid-append) was already dropped at replay
+// and simply vanishes. Compact returns the number of records written.
+func (c *Cache) Compact() (records int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.manifest == nil {
+		return 0, fmt.Errorf("sweep: compact: cache is closed")
+	}
+	var lines []manifestLine
+	var hashes []string
+	for h := range c.done {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
+	for _, h := range hashes {
+		lines = append(lines, manifestLine{Hash: h, Key: c.done[h], Status: "done"})
+	}
+	hashes = hashes[:0]
+	for h := range c.failed {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
+	for _, h := range hashes {
+		f := c.failed[h]
+		lines = append(lines, manifestLine{Hash: h, Key: f.Key, Status: "failed", Err: f.Err})
+	}
+
+	tmp, err := os.CreateTemp(c.dir, ".manifest.tmp*")
+	if err != nil {
+		return 0, fmt.Errorf("sweep: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	for _, m := range lines {
+		data, err := json.Marshal(m)
+		if err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("sweep: compact: %w", err)
+		}
+		if _, err := tmp.Write(append(data, '\n')); err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("sweep: compact: %w", err)
+		}
+	}
+	if err := errors.Join(tmp.Sync(), tmp.Close()); err != nil {
+		return 0, fmt.Errorf("sweep: compact: %w", err)
+	}
+	// Swap the live append handle: close, rename, reopen. Appends cannot
+	// race this (the cache mutex is held), and a rename failure leaves the
+	// old journal intact, so reopening it keeps the cache serviceable.
+	if err := c.manifest.Close(); err != nil {
+		c.manifest = nil
+		return 0, fmt.Errorf("sweep: compact: %w", err)
+	}
+	c.manifest = nil
+	if err := os.Rename(tmp.Name(), c.manifestPath()); err != nil {
+		f, reopenErr := os.OpenFile(c.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+		if reopenErr == nil {
+			c.manifest = f
+		}
+		return 0, fmt.Errorf("sweep: compact: %w", errors.Join(err, reopenErr))
+	}
+	f, err := os.OpenFile(c.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return 0, fmt.Errorf("sweep: compact: reopen manifest: %w", err)
+	}
+	c.manifest = f
+	return len(lines), nil
+}
+
 // Close releases the manifest handle. Reads and writes after Close fail.
 func (c *Cache) Close() error {
 	c.mu.Lock()

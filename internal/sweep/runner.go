@@ -274,7 +274,7 @@ func (r *Runner) executeWithRetry(job Job, key string) (Result, error) {
 // executeOnce runs one simulation under panic recovery and the budgets.
 func (r *Runner) executeOnce(job Job, key string) (res Result, err error) {
 	defer func() {
-		//lint:allow panic-hygiene(a panicking simulation must become a failure record, not a crashed sweep; the stack is preserved in the error)
+		//lint:allow panic-hygiene(a panicking OnExecute hook must become a failure record, not a crashed sweep; the stack is preserved in the error)
 		if rec := recover(); rec != nil {
 			err = fmt.Errorf("sweep: job panicked: %v\n%s", rec, debug.Stack())
 		}
@@ -288,6 +288,38 @@ func (r *Runner) executeOnce(job Job, key string) (res Result, err error) {
 		r.cfg.OnExecute(job)
 	}
 
+	var start time.Time
+	if r.cfg.WallBudget > 0 {
+		start = time.Now()
+	}
+	res, err = Execute(job, r.cfg.CycleBudget)
+	if err != nil {
+		return Result{}, err
+	}
+	if r.cfg.WallBudget > 0 {
+		if elapsed := time.Since(start); elapsed > r.cfg.WallBudget {
+			return Result{}, fmt.Errorf("sweep: job exceeded wall budget (%v > %v)", elapsed, r.cfg.WallBudget)
+		}
+	}
+	return res, nil
+}
+
+// Execute runs one job's simulation to completion and captures its
+// cacheable result. It is the single-execution primitive shared by the
+// in-process Runner and the distributed swexd worker: the lease holder
+// calls Execute, and because the simulator is deterministic, the Result is
+// a pure function of the job — two Execute calls for equal job keys, in
+// any process on any machine, return interchangeable results. A panicking
+// simulation becomes an error carrying the stack (a failure record, never
+// a crashed worker). defaultLimit bounds the run in simulated cycles when
+// Job.Limit is zero (0 = unbounded).
+func Execute(job Job, defaultLimit sim.Cycle) (res Result, err error) {
+	defer func() {
+		//lint:allow panic-hygiene(a panicking simulation must become a failure record, not a crashed worker; the stack is preserved in the error)
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("sweep: job panicked: %v\n%s", rec, debug.Stack())
+		}
+	}()
 	prog, err := job.Program.Resolve()
 	if err != nil {
 		return Result{}, err
@@ -298,20 +330,11 @@ func (r *Runner) executeOnce(job Job, key string) (res Result, err error) {
 	}
 	limit := job.Limit
 	if limit == 0 {
-		limit = r.cfg.CycleBudget
-	}
-	var start time.Time
-	if r.cfg.WallBudget > 0 {
-		start = time.Now()
+		limit = defaultLimit
 	}
 	mres, _, err := prog.Run(m, limit)
 	if err != nil {
 		return Result{}, err
-	}
-	if r.cfg.WallBudget > 0 {
-		if elapsed := time.Since(start); elapsed > r.cfg.WallBudget {
-			return Result{}, fmt.Errorf("sweep: job exceeded wall budget (%v > %v)", elapsed, r.cfg.WallBudget)
-		}
 	}
 	return CaptureResult(mres), nil
 }

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -436,5 +437,143 @@ func TestRunPoolCoversAllIndices(t *testing.T) {
 				t.Fatalf("workers=%d n=%d: %d calls", workers, n, hits.Load())
 			}
 		}
+	}
+}
+
+func TestCompactRewritesJournalToLiveRecords(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A history with superseded records: k1 completes, k2 fails then
+	// succeeds on retry, k3 fails twice. Journal: 5 lines, live: 3.
+	res := Result{Time: 7}
+	if err := c.Put("k1", res); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutFailure("k2", errors.New("first attempt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k2", res); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutFailure("k3", errors.New("boom a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutFailure("k3", errors.New("boom b")); err != nil {
+		t.Fatal(err)
+	}
+
+	records, err := c.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records != 3 {
+		t.Fatalf("Compact wrote %d records; want 3 (k1 done, k2 done, k3 failed)", records)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "\n"); got != 3 {
+		t.Fatalf("compacted manifest has %d lines; want 3:\n%s", got, data)
+	}
+
+	// The compacted cache still appends: a new completion lands in the
+	// rewritten journal.
+	if err := c.Put("k4", res); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh open over the compacted journal sees exactly the live state.
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatalf("open after compact: %v", err)
+	}
+	defer c2.Close()
+	for _, key := range []string{"k1", "k2", "k4"} {
+		if got, ok := c2.Get(key); !ok || got.Time != res.Time {
+			t.Fatalf("Get(%q) after compact = %+v, %v; want hit", key, got, ok)
+		}
+	}
+	st := c2.Status()
+	if st.Done != 3 || st.Failed != 1 {
+		t.Fatalf("status after compact: %+v; want 3 done, 1 failed", st)
+	}
+	if st.Failures[0].Err != "boom b" {
+		t.Fatalf("failure after compact: %+v; want the latest error kept", st.Failures[0])
+	}
+}
+
+func TestCompactDropsTornFinalLine(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k1", Result{Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(dir, "manifest.jsonl")
+	f, err := os.OpenFile(manifest, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"h":"deadbeef","k":"half-wri`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// The torn line is tolerated at replay and gone after compaction: the
+	// rewritten journal parses strictly, every line.
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated: %v", err)
+	}
+	if _, err := c2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var m manifestLine
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("compacted manifest line %d unparseable: %q", i+1, line)
+		}
+	}
+	c3, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if got, ok := c3.Get("k1"); !ok || got.Time != 1 {
+		t.Fatalf("Get(k1) after compact = %+v, %v; want hit", got, ok)
+	}
+}
+
+func TestCompactClosedCacheFails(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compact(); err == nil {
+		t.Fatal("Compact on a closed cache must fail")
 	}
 }

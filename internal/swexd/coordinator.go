@@ -1,0 +1,742 @@
+package swexd
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/rpc"
+	"sort"
+	"sync"
+	"time"
+
+	"swex/internal/sim"
+	"swex/internal/sweep"
+)
+
+// JobState names one job's position in the coordinator's state machine.
+// States are strings so they serialize readably in the JSON front end.
+type JobState string
+
+// The job lifecycle. A job enters at StateQueued (or directly at
+// StateCached when the store already holds its result, or StateFailed
+// when its description cannot be canonicalized), is handed to a worker at
+// StateLeased, confirmed executing at StateRunning by the first
+// heartbeat, and terminates at StateDone or StateFailed. A lost lease or
+// a failed attempt within the retry budget moves the job back to
+// StateQueued with its retry count incremented.
+const (
+	// StateQueued marks a job waiting for a worker lease.
+	StateQueued JobState = "queued"
+	// StateLeased marks a job handed to a worker, not yet confirmed
+	// running by a heartbeat.
+	StateLeased JobState = "leased"
+	// StateRunning marks a job a worker has confirmed executing.
+	StateRunning JobState = "running"
+	// StateCached marks a job whose result was served from the shared
+	// store at admission, without any execution.
+	StateCached JobState = "cached"
+	// StateDone marks a job whose result a worker computed and the
+	// coordinator recorded.
+	StateDone JobState = "done"
+	// StateFailed marks a job that exhausted its retry budget or could
+	// not be canonicalized at admission.
+	StateFailed JobState = "failed"
+)
+
+// Terminal reports whether the state is final: no further transitions.
+func (s JobState) Terminal() bool {
+	return s == StateCached || s == StateDone || s == StateFailed
+}
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// CacheDir, when non-empty, opens the shared content-addressed
+	// sweep.Cache there: results persist across coordinator restarts, and
+	// a matrix already simulated — by anyone — is served without
+	// re-execution. Empty keeps results in memory only.
+	CacheDir string
+	// LeaseTerm is how long a worker holds a job before it must have
+	// renewed by heartbeat; an expired lease is re-issued to the next
+	// worker that asks (default 10s).
+	LeaseTerm time.Duration
+	// CycleBudget is the default per-job simulated-cycle limit workers
+	// apply when Job.Limit is zero (0 = unbounded).
+	CycleBudget sim.Cycle
+	// JobRetries is how many worker-reported failures a job tolerates
+	// before it is marked failed (lease expiries do not count: a lost
+	// worker is not the job's fault and re-leases are unbounded).
+	JobRetries int
+
+	// now is the test clock hook (nil = time.Now).
+	now func() time.Time
+}
+
+// Event is one per-job state transition in a sweep's history, streamed as
+// a line of NDJSON by GET /sweeps/{id}/events.
+type Event struct {
+	// Seq numbers the event within its sweep, from 1, densely.
+	Seq int64 `json:"seq"`
+	// Index is the job's position in the submitted matrix.
+	Index int `json:"index"`
+	// Hash is the job's content hash (empty for jobs rejected at
+	// admission, whose descriptions could not be canonicalized).
+	Hash string `json:"hash,omitempty"`
+	// State is the job's new state.
+	State JobState `json:"state"`
+	// Worker identifies the worker involved, when one is.
+	Worker string `json:"worker,omitempty"`
+	// Retries counts how many times the job has been re-issued.
+	Retries int `json:"retries,omitempty"`
+	// Err carries the failure text on failed (or requeued-after-failure)
+	// transitions.
+	Err string `json:"err,omitempty"`
+}
+
+// JobStatus is one job's current state in a SweepStatus snapshot.
+type JobStatus struct {
+	// Index is the job's position in the submitted matrix.
+	Index int `json:"index"`
+	// Hash is the job's content hash (empty for admission rejects).
+	Hash string `json:"hash,omitempty"`
+	// Desc is the human-readable job description.
+	Desc string `json:"desc"`
+	// State is the job's current state.
+	State JobState `json:"state"`
+	// Worker identifies the worker holding or last holding the job.
+	Worker string `json:"worker,omitempty"`
+	// Retries counts how many times the job has been re-issued.
+	Retries int `json:"retries,omitempty"`
+	// Err carries the failure text for failed jobs.
+	Err string `json:"err,omitempty"`
+}
+
+// SweepSummary is the per-sweep line of the GET /sweeps listing.
+type SweepSummary struct {
+	// ID is the sweep's identifier.
+	ID string `json:"id"`
+	// Total is the number of submitted jobs.
+	Total int `json:"total"`
+	// Done reports whether every job has reached a terminal state.
+	Done bool `json:"done"`
+	// Counts tallies jobs by state name.
+	Counts map[string]int `json:"counts"`
+}
+
+// SweepStatus is the full GET /sweeps/{id} snapshot.
+type SweepStatus struct {
+	// ID is the sweep's identifier.
+	ID string `json:"id"`
+	// Total is the number of submitted jobs.
+	Total int `json:"total"`
+	// Done reports whether every job has reached a terminal state.
+	Done bool `json:"done"`
+	// Counts tallies jobs by state name.
+	Counts map[string]int `json:"counts"`
+	// Jobs lists every job in submission order.
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// JobResult is one job's slot in a SweepResults vector.
+type JobResult struct {
+	// Index is the job's position in the submitted matrix.
+	Index int `json:"index"`
+	// Desc is the human-readable job description.
+	Desc string `json:"desc"`
+	// State is the job's state at snapshot time.
+	State JobState `json:"state"`
+	// Result holds the finished result for done and cached jobs.
+	Result *sweep.Result `json:"result,omitempty"`
+	// Err carries the failure text for failed jobs.
+	Err string `json:"err,omitempty"`
+}
+
+// SweepResults is the GET /sweeps/{id}/results payload: the sweep's
+// result vector, index-aligned with the submitted matrix — the merge rule
+// that makes distributed output byte-identical to a serial run.
+type SweepResults struct {
+	// ID is the sweep's identifier.
+	ID string `json:"id"`
+	// Done reports whether every job has reached a terminal state; only
+	// then is the result vector complete.
+	Done bool `json:"done"`
+	// Results holds one slot per submitted job, in submission order.
+	Results []JobResult `json:"results"`
+}
+
+// WorkerInfo is one worker's line in the GET /workers listing.
+type WorkerInfo struct {
+	// ID is the coordinator-assigned worker identifier.
+	ID string `json:"id"`
+	// Name is the worker's self-reported name.
+	Name string `json:"name"`
+	// Active lists the content hashes of jobs the worker currently
+	// leases, sorted.
+	Active []string `json:"active,omitempty"`
+	// Completed counts accepted job completions.
+	Completed int64 `json:"completed"`
+	// Failed counts worker-reported job failures.
+	Failed int64 `json:"failed"`
+	// LastSeen is the wall-clock time of the worker's last RPC, RFC 3339.
+	LastSeen string `json:"lastSeen"`
+}
+
+// taskRef points one live task at a (sweep, job index) that awaits it.
+type taskRef struct {
+	sw    *sweepState
+	index int
+}
+
+// task is one distinct job hash being executed: the unit of leasing.
+// Several sweeps' jobs can reference one task; its completion fans out to
+// all of them.
+type task struct {
+	hash     string
+	key      string
+	job      sweep.Job
+	state    JobState // queued, leased, or running while live
+	worker   string
+	nonce    uint64 // current lease nonce; 0 = no valid lease
+	deadline time.Time
+	retries  int // total re-issues: expiries + retried failures
+	failures int // worker-reported failures only
+	refs     []taskRef
+}
+
+// jobRecord is one submitted job's state within a sweep.
+type jobRecord struct {
+	desc    string
+	hash    string
+	state   JobState
+	worker  string
+	retries int
+	err     string
+}
+
+// sweepState is one submitted matrix and its event history.
+type sweepState struct {
+	id     string
+	salt   string
+	jobs   []jobRecord
+	open   int // jobs not yet in a terminal state
+	events []Event
+	notify chan struct{} // closed and replaced on every event append
+}
+
+// workerState is the coordinator's view of one registered worker.
+type workerState struct {
+	id        string
+	name      string
+	active    map[string]bool // leased job hashes
+	completed int64
+	failed    int64
+	lastSeen  time.Time
+}
+
+// Coordinator is the distributed sweep service: it admits experiment
+// matrices, leases their jobs to workers by content hash, collects
+// results into the shared cache, and serves per-job state over HTTP. All
+// methods are safe for concurrent use.
+type Coordinator struct {
+	cfg   Config
+	cache *sweep.Cache
+	mux   *http.ServeMux
+
+	mu         sync.Mutex
+	tasks      map[string]*task // live tasks by hash
+	queue      []*task          // FIFO of queued tasks
+	memo       map[string]sweep.Result
+	sweeps     map[string]*sweepState
+	order      []string // sweep IDs in submission order
+	workers    map[string]*workerState
+	counters   map[string]int64
+	nextSweep  int
+	nextWorker int
+	nonces     uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewCoordinator builds a coordinator, opening the shared disk cache when
+// Config.CacheDir is set, and starts its lease-expiry scanner.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.LeaseTerm <= 0 {
+		cfg.LeaseTerm = 10 * time.Second
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		tasks:    make(map[string]*task),
+		memo:     make(map[string]sweep.Result),
+		sweeps:   make(map[string]*sweepState),
+		workers:  make(map[string]*workerState),
+		counters: make(map[string]int64),
+		stop:     make(chan struct{}),
+	}
+	if cfg.CacheDir != "" {
+		cache, err := sweep.OpenCache(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		c.cache = cache
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(rpcService, &RPC{c: c}); err != nil {
+		if c.cache != nil {
+			c.cache.Close()
+		}
+		return nil, fmt.Errorf("swexd: register rpc service: %w", err)
+	}
+	c.mux = newMux(c, srv)
+	go c.scanLoop()
+	return c, nil
+}
+
+// Close stops the lease-expiry scanner and releases the disk cache.
+func (c *Coordinator) Close() error {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cache == nil {
+		return nil
+	}
+	err := c.cache.Close()
+	c.cache = nil
+	return err
+}
+
+// Handler returns the coordinator's HTTP handler: the JSON front end plus
+// the workers' RPC endpoint at RPCPath. Serve it on any listener.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// now returns the coordinator's clock reading.
+func (c *Coordinator) now() time.Time {
+	if c.cfg.now != nil {
+		return c.cfg.now()
+	}
+	return time.Now()
+}
+
+// scanLoop expires lost leases in the background until Close.
+func (c *Coordinator) scanLoop() {
+	every := c.cfg.LeaseTerm / 4
+	if every < 5*time.Millisecond {
+		every = 5 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.mu.Lock()
+			c.expireLocked(c.now())
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Submit admits one experiment matrix: every job is canonicalized with
+// the salt, deduplicated against the store (cached), against live tasks
+// (joined), or enqueued, and the sweep's identifier is returned. An
+// uncanonicalizable job is marked failed at admission; the rest of the
+// matrix proceeds.
+func (c *Coordinator) Submit(jobs []sweep.Job, salt string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextSweep++
+	sw := &sweepState{
+		id:     fmt.Sprintf("s%d", c.nextSweep),
+		salt:   salt,
+		notify: make(chan struct{}),
+	}
+	c.sweeps[sw.id] = sw
+	c.order = append(c.order, sw.id)
+	c.counters["sweeps_submitted"]++
+	c.counters["jobs_submitted"] += int64(len(jobs))
+
+	sw.jobs = make([]jobRecord, len(jobs))
+	sw.open = len(jobs)
+	for i, job := range jobs {
+		sw.jobs[i].desc = job.String()
+		key, err := job.Key(salt)
+		if err != nil {
+			c.setStateLocked(sw, i, StateFailed, "", 0, err.Error())
+			continue
+		}
+		hash := sweep.HashKey(key)
+		sw.jobs[i].hash = hash
+		if _, ok := c.lookupLocked(key, hash); ok {
+			c.counters["jobs_cached"]++
+			c.setStateLocked(sw, i, StateCached, "", 0, "")
+			continue
+		}
+		if t, ok := c.tasks[hash]; ok {
+			t.refs = append(t.refs, taskRef{sw, i})
+			c.setStateLocked(sw, i, t.state, t.worker, t.retries, "")
+			continue
+		}
+		t := &task{hash: hash, key: key, job: job, state: StateQueued, refs: []taskRef{{sw, i}}}
+		c.tasks[hash] = t
+		c.queue = append(c.queue, t)
+		c.setStateLocked(sw, i, StateQueued, "", 0, "")
+	}
+	return sw.id, nil
+}
+
+// lookupLocked serves a result from the memo or the disk cache (promoting
+// disk hits into the memo so the results endpoint can serve them).
+func (c *Coordinator) lookupLocked(key, hash string) (sweep.Result, bool) {
+	if res, ok := c.memo[hash]; ok {
+		return res, true
+	}
+	if c.cache == nil {
+		return sweep.Result{}, false
+	}
+	res, ok := c.cache.Get(key)
+	if ok {
+		c.memo[hash] = res
+	}
+	return res, ok
+}
+
+// setStateLocked records a job's state transition in its sweep, appends
+// the event, and wakes event streamers.
+func (c *Coordinator) setStateLocked(sw *sweepState, index int, state JobState, worker string, retries int, errText string) {
+	rec := &sw.jobs[index]
+	wasTerminal := rec.state.Terminal()
+	rec.state, rec.worker, rec.retries, rec.err = state, worker, retries, errText
+	if state.Terminal() && !wasTerminal {
+		sw.open--
+	}
+	sw.events = append(sw.events, Event{
+		Seq:     int64(len(sw.events) + 1),
+		Index:   index,
+		Hash:    rec.hash,
+		State:   state,
+		Worker:  worker,
+		Retries: retries,
+		Err:     errText,
+	})
+	close(sw.notify)
+	sw.notify = make(chan struct{})
+}
+
+// expireLocked re-queues every leased or running task whose deadline has
+// passed: the lease nonce is invalidated (a straggler's late completion
+// is discarded as stale), the retry count increments, and the task goes
+// back on the queue for the next worker.
+func (c *Coordinator) expireLocked(now time.Time) {
+	var expired []*task
+	for _, t := range c.tasks {
+		if (t.state == StateLeased || t.state == StateRunning) && t.deadline.Before(now) {
+			expired = append(expired, t)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i].hash < expired[j].hash })
+	for _, t := range expired {
+		if w := c.workers[t.worker]; w != nil {
+			delete(w.active, t.hash)
+		}
+		c.counters["leases_expired"]++
+		t.state, t.worker, t.nonce = StateQueued, "", 0
+		t.retries++
+		c.queue = append(c.queue, t)
+		for _, ref := range t.refs {
+			c.setStateLocked(ref.sw, ref.index, StateQueued, "", t.retries, "")
+		}
+	}
+}
+
+// register admits a worker and assigns its identifier.
+func (c *Coordinator) register(name string) *RegisterReply {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextWorker++
+	id := fmt.Sprintf("w%d", c.nextWorker)
+	c.workers[id] = &workerState{
+		id:       id,
+		name:     name,
+		active:   make(map[string]bool),
+		lastSeen: c.now(),
+	}
+	c.counters["workers_registered"]++
+	heartbeat := c.cfg.LeaseTerm / 3
+	if heartbeat < time.Millisecond {
+		heartbeat = time.Millisecond
+	}
+	poll := c.cfg.LeaseTerm / 4
+	if poll > 200*time.Millisecond {
+		poll = 200 * time.Millisecond
+	}
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	return &RegisterReply{
+		WorkerID:    id,
+		HeartbeatMs: heartbeat.Milliseconds(),
+		PollMs:      poll.Milliseconds(),
+	}
+}
+
+// lease grants the oldest queued task to the worker, or reports none
+// available.
+func (c *Coordinator) lease(workerID string) (*LeaseReply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[workerID]
+	if w == nil {
+		return nil, fmt.Errorf("swexd: unknown worker %q (register first)", workerID)
+	}
+	now := c.now()
+	w.lastSeen = now
+	c.expireLocked(now)
+	for len(c.queue) > 0 {
+		t := c.queue[0]
+		c.queue = c.queue[1:]
+		if t.state != StateQueued || c.tasks[t.hash] != t {
+			continue // superseded queue entry
+		}
+		c.nonces++
+		t.state, t.worker, t.nonce = StateLeased, workerID, c.nonces
+		t.deadline = now.Add(c.cfg.LeaseTerm)
+		w.active[t.hash] = true
+		c.counters["leases_granted"]++
+		for _, ref := range t.refs {
+			c.setStateLocked(ref.sw, ref.index, StateLeased, workerID, t.retries, "")
+		}
+		return &LeaseReply{
+			Granted:      true,
+			Hash:         t.hash,
+			Nonce:        t.nonce,
+			Job:          t.job,
+			DefaultLimit: c.cfg.CycleBudget,
+		}, nil
+	}
+	return &LeaseReply{}, nil
+}
+
+// renew extends a live lease's deadline; the first renewal with Running
+// set confirms the job executing. A renewal against a lost lease reports
+// OK false, telling the worker its result will be discarded.
+func (c *Coordinator) renew(workerID, hash string, nonce uint64, running bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	if w := c.workers[workerID]; w != nil {
+		w.lastSeen = now
+	}
+	t := c.tasks[hash]
+	if t == nil || nonce == 0 || t.nonce != nonce || t.worker != workerID {
+		return false
+	}
+	t.deadline = now.Add(c.cfg.LeaseTerm)
+	c.counters["leases_renewed"]++
+	if running && t.state == StateLeased {
+		t.state = StateRunning
+		for _, ref := range t.refs {
+			c.setStateLocked(ref.sw, ref.index, StateRunning, workerID, t.retries, "")
+		}
+	}
+	return true
+}
+
+// complete records a worker's verdict for a leased job. A completion
+// whose lease nonce is no longer current is discarded as stale — the
+// acceptance rule that makes results exactly-once in effect. A success is
+// persisted to the shared store and fanned out to every referencing
+// sweep; a failure consumes one of the job's retries and either re-queues
+// or fails it.
+func (c *Coordinator) complete(workerID, hash string, nonce uint64, res sweep.Result, errText string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[workerID]
+	if w != nil {
+		w.lastSeen = c.now()
+	}
+	t := c.tasks[hash]
+	if t == nil || nonce == 0 || t.nonce != nonce || t.worker != workerID {
+		c.counters["completes_stale"]++
+		return false
+	}
+	if w != nil {
+		delete(w.active, hash)
+	}
+	if errText == "" {
+		c.memo[hash] = res
+		if c.cache != nil {
+			if err := c.cache.Put(t.key, res); err != nil {
+				c.counters["cache_put_errors"]++
+			}
+		}
+		c.counters["executions"]++
+		if w != nil {
+			w.completed++
+		}
+		delete(c.tasks, hash)
+		for _, ref := range t.refs {
+			c.setStateLocked(ref.sw, ref.index, StateDone, workerID, t.retries, "")
+		}
+		return true
+	}
+	if w != nil {
+		w.failed++
+	}
+	c.counters["job_failures"]++
+	t.failures++
+	if t.failures > c.cfg.JobRetries {
+		if c.cache != nil {
+			if err := c.cache.PutFailure(t.key, errors.New(errText)); err != nil {
+				c.counters["cache_put_errors"]++
+			}
+		}
+		delete(c.tasks, hash)
+		for _, ref := range t.refs {
+			c.setStateLocked(ref.sw, ref.index, StateFailed, workerID, t.retries, errText)
+		}
+		return true
+	}
+	t.state, t.worker, t.nonce = StateQueued, "", 0
+	t.retries++
+	c.queue = append(c.queue, t)
+	for _, ref := range t.refs {
+		c.setStateLocked(ref.sw, ref.index, StateQueued, "", t.retries, errText)
+	}
+	return true
+}
+
+// summaryLocked snapshots one sweep's per-state tallies.
+func summaryLocked(sw *sweepState) SweepSummary {
+	s := SweepSummary{
+		ID:     sw.id,
+		Total:  len(sw.jobs),
+		Done:   sw.open == 0,
+		Counts: make(map[string]int),
+	}
+	for i := range sw.jobs {
+		s.Counts[string(sw.jobs[i].state)]++
+	}
+	return s
+}
+
+// SweepList snapshots every sweep in submission order.
+func (c *Coordinator) SweepList() []SweepSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SweepSummary, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, summaryLocked(c.sweeps[id]))
+	}
+	return out
+}
+
+// SweepStatus snapshots one sweep's full per-job state.
+func (c *Coordinator) SweepStatus(id string) (SweepStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw, ok := c.sweeps[id]
+	if !ok {
+		return SweepStatus{}, false
+	}
+	sum := summaryLocked(sw)
+	st := SweepStatus{ID: sum.ID, Total: sum.Total, Done: sum.Done, Counts: sum.Counts}
+	st.Jobs = make([]JobStatus, len(sw.jobs))
+	for i := range sw.jobs {
+		rec := &sw.jobs[i]
+		st.Jobs[i] = JobStatus{
+			Index:   i,
+			Hash:    rec.hash,
+			Desc:    rec.desc,
+			State:   rec.state,
+			Worker:  rec.worker,
+			Retries: rec.retries,
+			Err:     rec.err,
+		}
+	}
+	return st, true
+}
+
+// SweepResults snapshots one sweep's result vector, index-aligned with
+// the submitted matrix. The vector is complete only when Done.
+func (c *Coordinator) SweepResults(id string) (SweepResults, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw, ok := c.sweeps[id]
+	if !ok {
+		return SweepResults{}, false
+	}
+	out := SweepResults{ID: sw.id, Done: sw.open == 0}
+	out.Results = make([]JobResult, len(sw.jobs))
+	for i := range sw.jobs {
+		rec := &sw.jobs[i]
+		jr := JobResult{Index: i, Desc: rec.desc, State: rec.state, Err: rec.err}
+		if rec.state == StateDone || rec.state == StateCached {
+			if res, ok := c.memo[rec.hash]; ok {
+				r := res
+				jr.Result = &r
+			}
+		}
+		out.Results[i] = jr
+	}
+	return out, true
+}
+
+// EventsSince returns one sweep's events with Seq > seq, whether the
+// sweep is done, and a channel that closes when new events arrive — the
+// primitives the NDJSON streaming endpoint is built from.
+func (c *Coordinator) EventsSince(id string, seq int64) (events []Event, done bool, notify <-chan struct{}, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw, found := c.sweeps[id]
+	if !found {
+		return nil, false, nil, false
+	}
+	if n := int64(len(sw.events)); seq < n {
+		events = append(events, sw.events[seq:]...)
+	}
+	return events, sw.open == 0, sw.notify, true
+}
+
+// Workers snapshots every registered worker, in registration order.
+func (c *Coordinator) Workers() []WorkerInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ids []string
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		return len(ids[i]) < len(ids[j]) || (len(ids[i]) == len(ids[j]) && ids[i] < ids[j])
+	})
+	out := make([]WorkerInfo, 0, len(ids))
+	for _, id := range ids {
+		w := c.workers[id]
+		info := WorkerInfo{
+			ID:        w.id,
+			Name:      w.name,
+			Completed: w.completed,
+			Failed:    w.failed,
+			LastSeen:  w.lastSeen.Format(time.RFC3339Nano),
+		}
+		for h := range w.active {
+			info.Active = append(info.Active, h)
+		}
+		sort.Strings(info.Active)
+		out = append(out, info)
+	}
+	return out
+}
+
+// Vars snapshots the coordinator's expvar-style counters: leases granted,
+// renewed, and expired, executions, cache admissions, stale completions,
+// and their kin. Keys marshal sorted, so the JSON is deterministic for a
+// given state.
+func (c *Coordinator) Vars() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counters))
+	for k, v := range c.counters {
+		out[k] = v
+	}
+	return out
+}

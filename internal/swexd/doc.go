@@ -1,0 +1,45 @@
+// Package swexd is the distributed sweep service: it promotes the
+// single-process experiment orchestrator of internal/sweep to a
+// coordinator/worker architecture so one shared content-addressed result
+// cache serves many clients, many worker machines, and arbitrarily large
+// experiment matrices.
+//
+// # Architecture
+//
+// A Coordinator accepts experiment matrices over an HTTP/JSON front end
+// (POST /sweeps), deduplicates their jobs by content hash against the
+// sweep.Cache it owns, and hands the remainder out to workers over Go
+// net/rpc as leases: a worker holds a job for a bounded lease term and
+// must renew by heartbeat; a lease that expires (worker crash, network
+// partition, stall) is re-issued to the next worker that asks. Workers
+// execute jobs with sweep.Execute — the same single-execution primitive
+// the in-process Runner uses — and return results over RPC; the
+// coordinator persists them through the journaled cache and fans them out
+// to every sweep (from any client) that references the same job hash.
+// A warm cache hit therefore never re-simulates, across all clients.
+//
+// Per-job state is observable end to end: each job moves through
+// queued -> leased -> running -> done (or cached at admission when the
+// store already holds its result, or failed after the retry budget), with
+// worker identity and retry counts, via GET /sweeps/{id}, a streaming
+// NDJSON event feed at GET /sweeps/{id}/events, GET /workers, and
+// expvar-style counters at GET /vars.
+//
+// # Determinism contract
+//
+// Distributed output is byte-identical to a serial run. The argument has
+// three steps, mirroring internal/sweep's: (1) the simulator is
+// deterministic, so a job's Result is a pure function of its canonical
+// key, making results computed by any worker — or recalled from any
+// cache — interchangeable; (2) the coordinator merges results by
+// submission index, so which worker ran which job, in which order, with
+// how many lease expiries in between, is invisible in a sweep's result
+// vector; (3) re-execution after a lost lease is safe because acceptance
+// is keyed by lease nonce (a stale completion is discarded, never
+// double-recorded) and cache writes are idempotent by content hash.
+// Together: exactly-once in effect, at-least-once in execution.
+//
+// The one intentional nondeterminism is wall-clock lease bookkeeping
+// (terms, heartbeats, expiry scans); it can only change *where* a job
+// runs, never what its result is.
+package swexd

@@ -1,0 +1,137 @@
+package swexd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/rpc"
+
+	"swex/internal/sweep"
+)
+
+// maxSubmitBytes bounds a POST /sweeps body; the full exhibit matrix
+// serializes to well under a megabyte.
+const maxSubmitBytes = 32 << 20
+
+// SubmitRequest is the POST /sweeps body: one experiment matrix.
+type SubmitRequest struct {
+	// Jobs is the matrix, in the order results should be merged.
+	Jobs []sweep.Job `json:"jobs"`
+	// Salt is extra key material mixed into every job hash, for isolating
+	// experimental branches that share the coordinator's cache.
+	Salt string `json:"salt,omitempty"`
+}
+
+// SubmitReply is the POST /sweeps answer.
+type SubmitReply struct {
+	// ID identifies the admitted sweep in every other endpoint.
+	ID string `json:"id"`
+	// Jobs echoes the number of admitted jobs.
+	Jobs int `json:"jobs"`
+}
+
+// newMux builds the coordinator's HTTP front end and mounts the workers'
+// RPC endpoint.
+func newMux(c *Coordinator, srv *rpc.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle(RPCPath, srv)
+	mux.HandleFunc("POST /sweeps", c.handleSubmit)
+	mux.HandleFunc("GET /sweeps", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.SweepList())
+	})
+	mux.HandleFunc("GET /sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := c.SweepStatus(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "no such sweep", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("GET /sweeps/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		res, ok := c.SweepResults(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "no such sweep", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("GET /sweeps/{id}/events", c.handleEvents)
+	mux.HandleFunc("GET /workers", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Workers())
+	})
+	mux.HandleFunc("GET /vars", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Vars())
+	})
+	return mux
+}
+
+// writeJSON renders one JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing useful left to send.
+		return
+	}
+}
+
+// handleSubmit admits one experiment matrix.
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad submit body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		http.Error(w, "empty job matrix", http.StatusBadRequest)
+		return
+	}
+	id, err := c.Submit(req.Jobs, req.Salt)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, SubmitReply{ID: id, Jobs: len(req.Jobs)})
+}
+
+// handleEvents streams a sweep's per-job state transitions as NDJSON: the
+// full history replays first, then new events flush as they happen, and
+// the stream ends when every job is terminal (or the client goes away).
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var seq int64
+	for {
+		events, done, notify, ok := c.EventsSince(id, seq)
+		if !ok {
+			if seq == 0 {
+				http.Error(w, "no such sweep", http.StatusNotFound)
+			}
+			return
+		}
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			seq = ev.Seq
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		case <-c.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package swexd
+
+import (
+	"swex/internal/sim"
+	"swex/internal/sweep"
+)
+
+// RPCPath is the mux path the coordinator's net/rpc endpoint is mounted
+// on; workers dial it with rpc.DialHTTPPath.
+const RPCPath = "/rpc"
+
+// rpcService is the registered net/rpc service name.
+const rpcService = "Swexd"
+
+// RPC is the coordinator's worker-facing net/rpc service. Workers call
+// Register once, then loop Lease / Renew / Complete. All methods follow
+// net/rpc's (args, reply) convention.
+type RPC struct {
+	c *Coordinator
+}
+
+// RegisterArgs carries a worker's registration.
+type RegisterArgs struct {
+	// Name is the worker's self-reported name (host, pid — anything
+	// useful for the /workers listing).
+	Name string
+}
+
+// RegisterReply carries the coordinator's registration answer.
+type RegisterReply struct {
+	// WorkerID is the coordinator-assigned identity the worker presents
+	// on every subsequent call.
+	WorkerID string
+	// HeartbeatMs is how often (milliseconds) the worker must Renew a
+	// held lease to keep it.
+	HeartbeatMs int64
+	// PollMs is how long (milliseconds) the worker should wait before
+	// re-asking after an empty Lease reply.
+	PollMs int64
+}
+
+// Register admits a worker and hands it its identity and timing
+// parameters.
+func (r *RPC) Register(args RegisterArgs, reply *RegisterReply) error {
+	*reply = *r.c.register(args.Name)
+	return nil
+}
+
+// LeaseArgs asks for one job lease.
+type LeaseArgs struct {
+	// WorkerID is the caller's registered identity.
+	WorkerID string
+}
+
+// LeaseReply carries one granted lease, or Granted false when the queue
+// is empty.
+type LeaseReply struct {
+	// Granted reports whether a job was leased.
+	Granted bool
+	// Hash is the leased job's content hash, echoed on Renew and
+	// Complete.
+	Hash string
+	// Nonce is the lease's acceptance token: a Complete carrying a stale
+	// Nonce (the lease expired and was re-issued) is discarded.
+	Nonce uint64
+	// Job is the leased job itself.
+	Job sweep.Job
+	// DefaultLimit is the coordinator's per-job simulated-cycle budget,
+	// applied when Job.Limit is zero.
+	DefaultLimit sim.Cycle
+}
+
+// Lease hands the oldest queued job to the calling worker.
+func (r *RPC) Lease(args LeaseArgs, reply *LeaseReply) error {
+	rep, err := r.c.lease(args.WorkerID)
+	if err != nil {
+		return err
+	}
+	*reply = *rep
+	return nil
+}
+
+// RenewArgs is a lease heartbeat.
+type RenewArgs struct {
+	// WorkerID is the caller's registered identity.
+	WorkerID string
+	// Hash is the held job's content hash.
+	Hash string
+	// Nonce is the held lease's token.
+	Nonce uint64
+	// Running marks the job as actually executing (the first renewal a
+	// worker sends, immediately after starting the simulation).
+	Running bool
+}
+
+// RenewReply answers a heartbeat.
+type RenewReply struct {
+	// OK is false when the lease is no longer held (expired and
+	// re-issued); the worker should abandon the job — its completion
+	// would be discarded as stale anyway.
+	OK bool
+}
+
+// Renew extends a held lease's deadline.
+func (r *RPC) Renew(args RenewArgs, reply *RenewReply) error {
+	reply.OK = r.c.renew(args.WorkerID, args.Hash, args.Nonce, args.Running)
+	return nil
+}
+
+// CompleteArgs reports one finished execution.
+type CompleteArgs struct {
+	// WorkerID is the caller's registered identity.
+	WorkerID string
+	// Hash is the completed job's content hash.
+	Hash string
+	// Nonce is the lease token the job was executed under.
+	Nonce uint64
+	// Result is the simulation result, valid when Err is empty.
+	Result sweep.Result
+	// Err is the failure text when the execution failed (panics arrive
+	// here with their stacks).
+	Err string
+}
+
+// CompleteReply answers a completion report.
+type CompleteReply struct {
+	// Accepted is false when the completion was discarded as stale.
+	Accepted bool
+}
+
+// Complete records a worker's execution verdict.
+func (r *RPC) Complete(args CompleteArgs, reply *CompleteReply) error {
+	reply.Accepted = r.c.complete(args.WorkerID, args.Hash, args.Nonce, args.Result, args.Err)
+	return nil
+}

@@ -1,0 +1,547 @@
+package swexd
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"swex/internal/machine"
+	"swex/internal/proto"
+	"swex/internal/sweep"
+	"swex/internal/trace"
+)
+
+// testMatrix returns n distinct, fast WORKER jobs.
+func testMatrix(n int) []sweep.Job {
+	specs := proto.Spectrum()
+	jobs := make([]sweep.Job, n)
+	for i := range jobs {
+		jobs[i] = sweep.WorkerJob(1+i%3, 1+i/3, machine.Config{
+			Nodes: 4,
+			Spec:  specs[i%len(specs)],
+		})
+	}
+	return jobs
+}
+
+// hashOf computes a job's content hash the way the coordinator does.
+func hashOf(t *testing.T, job sweep.Job, salt string) string {
+	t.Helper()
+	key, err := job.Key(salt)
+	if err != nil {
+		t.Fatalf("job key: %v", err)
+	}
+	return sweep.HashKey(key)
+}
+
+// fakeClock is a mutex-protected manual clock for Config.now.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// mustCoordinator builds a coordinator that the test closes.
+func mustCoordinator(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestLeaseExpiryAndStaleCompletion drives the lease state machine with
+// an injected clock: an unrenewed lease expires and is re-issued to
+// another worker, and the original worker's late completion is discarded
+// as stale rather than double-recorded.
+func TestLeaseExpiryAndStaleCompletion(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	c := mustCoordinator(t, Config{LeaseTerm: time.Minute, now: clock.Now})
+
+	jobs := testMatrix(2)
+	id, err := c.Submit(jobs, "")
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	w1 := c.register("one").WorkerID
+	w2 := c.register("two").WorkerID
+
+	l1, err := c.lease(w1)
+	if err != nil || !l1.Granted {
+		t.Fatalf("lease(w1) = %+v, %v; want a grant", l1, err)
+	}
+	if !c.renew(w1, l1.Hash, l1.Nonce, true) {
+		t.Fatal("renew of a live lease must succeed")
+	}
+
+	// Past the renewed deadline the lease is forfeit; draining the queue
+	// from w2 must re-issue w1's job under a fresh nonce.
+	clock.Advance(2 * time.Minute)
+	var leases []*LeaseReply
+	var reissued *LeaseReply
+	for {
+		l, err := c.lease(w2)
+		if err != nil {
+			t.Fatalf("lease(w2): %v", err)
+		}
+		if !l.Granted {
+			break
+		}
+		leases = append(leases, l)
+		if l.Hash == l1.Hash {
+			reissued = l
+		}
+	}
+	if reissued == nil {
+		t.Fatal("expired lease was not re-issued")
+	}
+	if reissued.Nonce == l1.Nonce {
+		t.Fatal("re-issued lease must carry a fresh nonce")
+	}
+
+	// w1 comes back from the dead: its completion is stale.
+	if c.complete(w1, l1.Hash, l1.Nonce, sweep.Result{}, "") {
+		t.Fatal("stale completion must be rejected")
+	}
+	if c.renew(w1, l1.Hash, l1.Nonce, false) {
+		t.Fatal("stale renewal must be rejected")
+	}
+	vars := c.Vars()
+	if vars["leases_expired"] == 0 || vars["completes_stale"] != 1 {
+		t.Fatalf("counters: %v; want leases_expired > 0, completes_stale = 1", vars)
+	}
+
+	// w2 finishes everything; the job w1 lost lands exactly once.
+	for _, l := range leases {
+		if !c.complete(w2, l.Hash, l.Nonce, sweep.Result{}, "") {
+			t.Fatalf("current completion of %s must be accepted", l.Hash[:16])
+		}
+	}
+	st, ok := c.SweepStatus(id)
+	if !ok || !st.Done {
+		t.Fatalf("sweep not done after all completions: %+v", st)
+	}
+	for _, j := range st.Jobs {
+		if j.State != StateDone {
+			t.Fatalf("job %d state = %s; want done", j.Index, j.State)
+		}
+	}
+	if got := c.Vars()["executions"]; got != 2 {
+		t.Fatalf("executions = %d; want 2 (one per distinct job, stale discarded)", got)
+	}
+}
+
+// TestSubmitAdmission covers the three admission paths: an
+// uncanonicalizable job fails immediately, duplicate jobs in one matrix
+// share a task, and a completed hash is served as cached to later sweeps.
+func TestSubmitAdmission(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	c := mustCoordinator(t, Config{LeaseTerm: time.Minute, now: clock.Now})
+
+	bad := sweep.WorkerJob(1, 1, machine.Config{Nodes: 4, Spec: proto.FullMap()})
+	bad.Config.Trace = trace.NewCollector()
+	good := testMatrix(1)[0]
+	id, err := c.Submit([]sweep.Job{bad, good, good}, "")
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st, _ := c.SweepStatus(id)
+	if st.Jobs[0].State != StateFailed || st.Jobs[0].Err == "" {
+		t.Fatalf("invalid job: %+v; want failed with error", st.Jobs[0])
+	}
+	if st.Jobs[1].State != StateQueued || st.Jobs[2].State != StateQueued {
+		t.Fatalf("duplicate jobs: %+v; want both queued", st.Jobs[1:])
+	}
+
+	w := c.register("w").WorkerID
+	l, err := c.lease(w)
+	if err != nil || !l.Granted {
+		t.Fatalf("lease: %+v, %v", l, err)
+	}
+	if l2, _ := c.lease(w); l2.Granted {
+		t.Fatalf("duplicate jobs produced two leases (second: %s)", l2.Hash)
+	}
+	c.complete(w, l.Hash, l.Nonce, sweep.Result{Time: 42}, "")
+	st, _ = c.SweepStatus(id)
+	if !st.Done || st.Jobs[1].State != StateDone || st.Jobs[2].State != StateDone {
+		t.Fatalf("one completion must finish both duplicates: %+v", st)
+	}
+
+	// Resubmission is served from the memo without queueing.
+	id2, _ := c.Submit([]sweep.Job{good}, "")
+	st2, _ := c.SweepStatus(id2)
+	if !st2.Done || st2.Jobs[0].State != StateCached {
+		t.Fatalf("warm resubmit: %+v; want cached and done", st2)
+	}
+	res, _ := c.SweepResults(id2)
+	if res.Results[0].Result == nil || res.Results[0].Result.Time != 42 {
+		t.Fatalf("cached result not served: %+v", res.Results[0])
+	}
+}
+
+// TestRetryBudget exhausts a job's failure budget: the first failure
+// re-queues it with the error visible, the second marks it failed, and
+// the failure is journaled in the shared cache for post-mortems.
+func TestRetryBudget(t *testing.T) {
+	dir := t.TempDir()
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	c := mustCoordinator(t, Config{LeaseTerm: time.Minute, JobRetries: 1, CacheDir: dir, now: clock.Now})
+
+	jobs := testMatrix(1)
+	id, _ := c.Submit(jobs, "")
+	w := c.register("w").WorkerID
+
+	l, _ := c.lease(w)
+	if !c.complete(w, l.Hash, l.Nonce, sweep.Result{}, "boom one") {
+		t.Fatal("failure report must be accepted")
+	}
+	st, _ := c.SweepStatus(id)
+	if st.Jobs[0].State != StateQueued || st.Jobs[0].Retries != 1 || st.Jobs[0].Err != "boom one" {
+		t.Fatalf("after first failure: %+v; want requeued with retries=1", st.Jobs[0])
+	}
+
+	l, _ = c.lease(w)
+	c.complete(w, l.Hash, l.Nonce, sweep.Result{}, "boom two")
+	st, _ = c.SweepStatus(id)
+	if !st.Done || st.Jobs[0].State != StateFailed || st.Jobs[0].Err != "boom two" {
+		t.Fatalf("after budget exhaustion: %+v; want failed", st.Jobs[0])
+	}
+	if got := c.Vars()["job_failures"]; got != 2 {
+		t.Fatalf("job_failures = %d; want 2", got)
+	}
+
+	// The failure reached the shared journal.
+	c.Close()
+	cache, err := sweep.OpenCache(dir)
+	if err != nil {
+		t.Fatalf("reopen cache: %v", err)
+	}
+	defer cache.Close()
+	cst := cache.Status()
+	if cst.Failed != 1 || !strings.Contains(cst.Failures[0].Err, "boom two") {
+		t.Fatalf("journaled failures: %+v; want the final error", cst)
+	}
+}
+
+// workerHarness runs one Worker against an address and reports when its
+// Run returns.
+func workerHarness(ctx context.Context, w *Worker) chan error {
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	return done
+}
+
+// TestWorkerLossMidLease is the crash-recovery regression: a worker is
+// lost while holding a lease, the coordinator re-issues the job after the
+// term, the sweep completes, and every job executed exactly once — the
+// victim's completed work is not redone and its abandoned job is not
+// lost.
+func TestWorkerLossMidLease(t *testing.T) {
+	c := mustCoordinator(t, Config{LeaseTerm: 300 * time.Millisecond})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	addr := srv.Listener.Addr().String()
+
+	jobs := testMatrix(6)
+	client := &Client{Base: srv.URL, Poll: 20 * time.Millisecond}
+	id, err := client.Submit(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	var mu sync.Mutex
+	execs := map[string]int{}
+	record := func(j sweep.Job) {
+		h := hashOf(t, j, "")
+		mu.Lock()
+		execs[h]++
+		mu.Unlock()
+	}
+
+	// The victim executes its first lease, then dies holding its second.
+	var leases atomic.Int64
+	victim := NewWorker(WorkerConfig{
+		Coordinator: addr,
+		Name:        "victim",
+		Poll:        10 * time.Millisecond,
+		onLease:     func(sweep.Job) bool { return leases.Add(1) == 1 },
+		onExecute:   record,
+	})
+	if err := <-workerHarness(context.Background(), victim); err != nil {
+		t.Fatalf("victim run: %v", err)
+	}
+	if victim.Executions() != 1 {
+		t.Fatalf("victim executed %d jobs; want exactly 1 before dying", victim.Executions())
+	}
+
+	// A healthy worker finishes the sweep, including the abandoned job.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rescue := NewWorker(WorkerConfig{
+		Coordinator: addr,
+		Name:        "rescue",
+		Poll:        10 * time.Millisecond,
+		onExecute:   record,
+	})
+	rescueDone := workerHarness(ctx, rescue)
+
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer waitCancel()
+	if err := client.Wait(waitCtx, id); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	cancel()
+	if err := <-rescueDone; err != nil {
+		t.Fatalf("rescue run: %v", err)
+	}
+
+	st, _ := c.SweepStatus(id)
+	for _, j := range st.Jobs {
+		if j.State != StateDone {
+			t.Fatalf("job %d state = %s; want done", j.Index, j.State)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(execs) != len(jobs) {
+		t.Fatalf("executed %d distinct jobs; want %d", len(execs), len(jobs))
+	}
+	for h, n := range execs {
+		if n != 1 {
+			t.Fatalf("job %s executed %d times; want exactly once", h[:16], n)
+		}
+	}
+	vars := c.Vars()
+	if vars["leases_expired"] == 0 {
+		t.Fatalf("counters: %v; want at least one expired lease", vars)
+	}
+	if vars["executions"] != int64(len(jobs)) {
+		t.Fatalf("executions = %d; want %d", vars["executions"], len(jobs))
+	}
+}
+
+// TestHTTPEndpoints exercises the JSON front end end to end: submit,
+// status, the NDJSON event stream (replay to terminal states), the worker
+// listing, counters, and the error paths.
+func TestHTTPEndpoints(t *testing.T) {
+	c := mustCoordinator(t, Config{LeaseTerm: 2 * time.Second})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	// Error paths first: bad body, empty matrix, unknown sweep.
+	resp, err := http.Post(srv.URL+"/sweeps", "application/json", strings.NewReader("not json"))
+	if err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: %v %v; want 400", resp.Status, err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(srv.URL+"/sweeps", "application/json", strings.NewReader(`{"jobs":[]}`))
+	if err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty matrix: %v %v; want 400", resp.Status, err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/sweeps/nope")
+	if err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown sweep: %v %v; want 404", resp.Status, err)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := NewWorker(WorkerConfig{
+		Coordinator: srv.Listener.Addr().String(),
+		Name:        "http-test",
+		Poll:        10 * time.Millisecond,
+	})
+	done := workerHarness(ctx, w)
+
+	jobs := testMatrix(3)
+	jobs = append(jobs, jobs[0]) // a duplicate, to see dedup in the counts
+	client := &Client{Base: srv.URL, Poll: 20 * time.Millisecond}
+	id, err := client.Submit(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := client.Wait(context.Background(), id); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+
+	// The event stream replays the full history and terminates.
+	resp, err = http.Get(srv.URL + "/sweeps/" + id + "/events")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: %v %v", resp.Status, err)
+	}
+	defer resp.Body.Close()
+	last := map[int]JobState{}
+	var seq int64
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		if ev.Seq != seq+1 {
+			t.Fatalf("event seq %d after %d; want dense ordering", ev.Seq, seq)
+		}
+		seq = ev.Seq
+		last[ev.Index] = ev.State
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("event stream: %v", err)
+	}
+	if len(last) != len(jobs) {
+		t.Fatalf("events covered %d jobs; want %d", len(last), len(jobs))
+	}
+	for i, s := range last {
+		if !s.Terminal() {
+			t.Fatalf("job %d last event state %s; want terminal", i, s)
+		}
+	}
+
+	sweeps, err := client.SweepList(context.Background())
+	if err != nil || len(sweeps) != 1 || !sweeps[0].Done {
+		t.Fatalf("sweep list: %+v, %v; want one done sweep", sweeps, err)
+	}
+	if sweeps[0].Counts[string(StateDone)] != len(jobs) {
+		t.Fatalf("counts: %v; want %d done", sweeps[0].Counts, len(jobs))
+	}
+	workers, err := client.Workers(context.Background())
+	if err != nil || len(workers) != 1 || workers[0].Name != "http-test" {
+		t.Fatalf("workers: %+v, %v", workers, err)
+	}
+	if workers[0].Completed != 3 {
+		t.Fatalf("worker completed %d; want 3 (the duplicate dedups)", workers[0].Completed)
+	}
+	vars, err := client.Vars(context.Background())
+	if err != nil || vars["executions"] != 3 {
+		t.Fatalf("vars: %v, %v; want executions = 3", vars, err)
+	}
+
+	cancel()
+	<-done
+}
+
+// TestClientRunMatchesLocalRunner is the determinism contract at the API
+// boundary: Client.Run through a coordinator returns exactly what the
+// in-process Runner returns for the same matrix, and a warm re-run
+// executes nothing.
+func TestClientRunMatchesLocalRunner(t *testing.T) {
+	jobs := testMatrix(5)
+	jobs = append(jobs, jobs[2]) // duplicates must fan out identically
+
+	local := sweep.MustNewRunner(sweep.Config{Workers: 2})
+	defer local.Close()
+	want, err := local.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+
+	c := mustCoordinator(t, Config{LeaseTerm: 2 * time.Second})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := NewWorker(WorkerConfig{
+		Coordinator: srv.Listener.Addr().String(),
+		Slots:       2,
+		Poll:        10 * time.Millisecond,
+	})
+	done := workerHarness(ctx, w)
+
+	client := &Client{Base: srv.URL, Poll: 20 * time.Millisecond}
+	got, err := client.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("distributed run: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("distributed results differ from local:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Warm re-run: zero additional executions, identical results.
+	before := c.Vars()["executions"]
+	again, err := client.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if !reflect.DeepEqual(again, want) {
+		t.Fatal("warm results differ")
+	}
+	if after := c.Vars()["executions"]; after != before {
+		t.Fatalf("warm run executed %d simulations; want 0", after-before)
+	}
+
+	cancel()
+	<-done
+}
+
+// TestWarmCrossProcessResubmit restarts the coordinator over the same
+// cache directory: the new instance, with no workers at all, serves the
+// whole matrix from the journaled store.
+func TestWarmCrossProcessResubmit(t *testing.T) {
+	dir := t.TempDir()
+	jobs := testMatrix(4)
+
+	c1, err := NewCoordinator(Config{LeaseTerm: 2 * time.Second, CacheDir: dir})
+	if err != nil {
+		t.Fatalf("coordinator 1: %v", err)
+	}
+	srv1 := httptest.NewServer(c1.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	w := NewWorker(WorkerConfig{
+		Coordinator: srv1.Listener.Addr().String(),
+		Poll:        10 * time.Millisecond,
+	})
+	done := workerHarness(ctx, w)
+	client1 := &Client{Base: srv1.URL, Poll: 20 * time.Millisecond}
+	want, err := client1.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	cancel()
+	<-done
+	srv1.Close()
+	if err := c1.Close(); err != nil {
+		t.Fatalf("close coordinator 1: %v", err)
+	}
+
+	c2 := mustCoordinator(t, Config{LeaseTerm: 2 * time.Second, CacheDir: dir})
+	srv2 := httptest.NewServer(c2.Handler())
+	defer srv2.Close()
+	client2 := &Client{Base: srv2.URL, Poll: 20 * time.Millisecond}
+	got, err := client2.Run(context.Background(), jobs) // no workers attached
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("cross-process warm results differ")
+	}
+	st, _ := c2.SweepStatus("s1")
+	for _, j := range st.Jobs {
+		if j.State != StateCached {
+			t.Fatalf("job %d state = %s; want cached (no worker ran)", j.Index, j.State)
+		}
+	}
+	if got := c2.Vars()["executions"]; got != 0 {
+		t.Fatalf("executions = %d; want 0", got)
+	}
+}

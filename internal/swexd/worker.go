@@ -1,0 +1,190 @@
+package swexd
+
+import (
+	"context"
+	"fmt"
+	"net/rpc"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swex/internal/sweep"
+)
+
+// WorkerConfig parameterizes a Worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's host:port address.
+	Coordinator string
+	// Name is the worker's self-reported name for the /workers listing.
+	Name string
+	// Slots is how many jobs the worker executes concurrently (<= 0
+	// means 1).
+	Slots int
+	// Poll overrides the coordinator-suggested wait between empty lease
+	// replies (0 = accept the suggestion).
+	Poll time.Duration
+
+	// onLease is the test hook called before executing each lease;
+	// returning false abandons the lease and stops the slot — a
+	// simulated mid-lease crash. onExecute is called once per actual
+	// execution.
+	onLease   func(sweep.Job) bool
+	onExecute func(sweep.Job)
+}
+
+// Worker pulls job leases from a coordinator, executes them with
+// sweep.Execute, heartbeats while running, and reports results.
+type Worker struct {
+	cfg WorkerConfig
+
+	executions atomic.Int64
+	completes  atomic.Int64
+}
+
+// NewWorker builds a worker.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1
+	}
+	return &Worker{cfg: cfg}
+}
+
+// Executions reports how many simulations the worker has started.
+func (w *Worker) Executions() int64 { return w.executions.Load() }
+
+// Completes reports how many completions the coordinator accepted from
+// this worker.
+func (w *Worker) Completes() int64 { return w.completes.Load() }
+
+// Run registers with the coordinator and serves leases until the context
+// is cancelled or every slot stops. It returns nil on a clean
+// cancellation.
+func (w *Worker) Run(ctx context.Context) error {
+	client, err := rpc.DialHTTPPath("tcp", w.cfg.Coordinator, RPCPath)
+	if err != nil {
+		return fmt.Errorf("swexd: dial coordinator %s: %w", w.cfg.Coordinator, err)
+	}
+	defer client.Close()
+	// Closing the client unblocks any in-flight call with ErrShutdown, so
+	// cancellation cannot hang behind a slow RPC.
+	dialDone := make(chan struct{})
+	defer close(dialDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			client.Close()
+		case <-dialDone:
+		}
+	}()
+
+	var reg RegisterReply
+	if err := client.Call(rpcService+".Register", RegisterArgs{Name: w.cfg.Name}, &reg); err != nil {
+		return fmt.Errorf("swexd: register: %w", err)
+	}
+	heartbeat := time.Duration(reg.HeartbeatMs) * time.Millisecond
+	if heartbeat <= 0 {
+		heartbeat = time.Second
+	}
+	poll := w.cfg.Poll
+	if poll <= 0 {
+		poll = time.Duration(reg.PollMs) * time.Millisecond
+	}
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, w.cfg.Slots)
+	for s := 0; s < w.cfg.Slots; s++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			errs[slot] = w.slotLoop(ctx, client, reg.WorkerID, heartbeat, poll)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && ctx.Err() == nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// slotLoop is one lease-execute-complete loop.
+func (w *Worker) slotLoop(ctx context.Context, client *rpc.Client, workerID string, heartbeat, poll time.Duration) error {
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		var lease LeaseReply
+		if err := client.Call(rpcService+".Lease", LeaseArgs{WorkerID: workerID}, &lease); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("swexd: lease: %w", err)
+		}
+		if !lease.Granted {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(poll):
+			}
+			continue
+		}
+		if w.cfg.onLease != nil && !w.cfg.onLease(lease.Job) {
+			return nil // simulated crash: abandon the lease, stop the slot
+		}
+		w.execute(ctx, client, workerID, lease, heartbeat)
+	}
+}
+
+// execute runs one leased job under a heartbeat and reports the verdict.
+func (w *Worker) execute(ctx context.Context, client *rpc.Client, workerID string, lease LeaseReply, heartbeat time.Duration) {
+	// Heartbeat until the job finishes. The first renewal (sent
+	// immediately) carries Running, confirming execution started.
+	stop := make(chan struct{})
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		t := time.NewTicker(heartbeat)
+		defer t.Stop()
+		running := true
+		for {
+			var rep RenewReply
+			err := client.Call(rpcService+".Renew", RenewArgs{
+				WorkerID: workerID, Hash: lease.Hash, Nonce: lease.Nonce, Running: running,
+			}, &rep)
+			running = false
+			if err != nil || !rep.OK {
+				return // lease lost; the completion will be rejected as stale
+			}
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+		}
+	}()
+
+	w.executions.Add(1)
+	if w.cfg.onExecute != nil {
+		w.cfg.onExecute(lease.Job)
+	}
+	res, err := sweep.Execute(lease.Job, lease.DefaultLimit)
+	close(stop)
+	hb.Wait()
+
+	args := CompleteArgs{WorkerID: workerID, Hash: lease.Hash, Nonce: lease.Nonce, Result: res}
+	if err != nil {
+		args.Result = sweep.Result{}
+		args.Err = err.Error()
+	}
+	var rep CompleteReply
+	if cerr := client.Call(rpcService+".Complete", args, &rep); cerr == nil && rep.Accepted {
+		w.completes.Add(1)
+	}
+}
