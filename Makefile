@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet race check mc mc-smoke mc-por-smoke bench bench-sweep trace-smoke sweep-smoke swexd-smoke
+.PHONY: all build test lint vet race check mc mc-smoke mc-por-smoke bench bench-sweep trace-smoke sweep-smoke swexd-smoke fuzz-smoke
 
 all: build test
 
@@ -23,11 +23,12 @@ vet:
 
 # race exercises the only packages that touch goroutines (the engine, the
 # network model, the sweep orchestrator's worker pool, and the distributed
-# sweep service) under the race detector. The simulation core is
+# sweep service) under the race detector, plus the memory-model fuzzing
+# layer whose runs ride the sweep worker pool. The simulation core is
 # single-threaded by contract, so the interesting schedules are in the
 # lockstep handoff, the pool merge, and the coordinator's lease machinery.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/mesh/... ./internal/sweep/... ./internal/swexd/...
+	$(GO) test -race ./internal/sim/... ./internal/mesh/... ./internal/sweep/... ./internal/swexd/... ./internal/litmus/...
 
 # mc exhausts the model checker's full-depth configurations over the
 # whole protocol spectrum, with sleep-set partial-order reduction on
@@ -96,6 +97,23 @@ swexd-smoke:
 	$(GO) test ./internal/swexd/ -count=1
 	$(GO) test . -run 'TestDistributedExhibitsByteIdentical' -count=1
 
+# fuzz-smoke exercises the memory-model fuzzing pipeline end to end: the
+# litmus package's oracle suite (verdict tables, cross-validation of the
+# two exact decision procedures), then a seeded swexfuzz campaign cold and
+# warm over one cache directory — the warm run must execute zero
+# simulations and print byte-identical stdout — and finally the negative
+# control: a machine weakened to drop an invalidation must be flagged by
+# the oracle, proving the pipeline can see a coherence bug.
+fuzz-smoke:
+	$(GO) test ./internal/litmus/ -count=1
+	d=$$(mktemp -d) && \
+	  $(GO) run ./cmd/swexfuzz -seed 1 -programs 50 -cache $$d >$$d/cold.out && \
+	  $(GO) run ./cmd/swexfuzz -seed 1 -programs 50 -cache $$d 2>$$d/warm.err >$$d/warm.out && \
+	  cmp $$d/cold.out $$d/warm.out && \
+	  grep -q ' 0 simulation' $$d/warm.err && \
+	  rm -rf $$d
+	$(GO) run ./cmd/swexfuzz -weakened >/dev/null
+
 # trace-smoke exercises the tracing pipeline end to end: a traced run must
 # export, export deterministically, and round-trip the profile view. The
 # per-package tests assert the details; this is the `make check` wiring.
@@ -104,4 +122,4 @@ trace-smoke:
 	$(GO) run ./cmd/swextrace -worker 4 -iters 2 -nodes 4 -protocol h2 -o /tmp/swextrace-smoke.json
 	$(GO) run ./cmd/swextrace profile -worker 4 -iters 2 -nodes 4 -protocol h2 >/dev/null
 
-check: vet lint test race mc-smoke mc-por-smoke trace-smoke sweep-smoke swexd-smoke
+check: vet lint test race mc-smoke mc-por-smoke trace-smoke sweep-smoke swexd-smoke fuzz-smoke

@@ -8,7 +8,7 @@
 //	swexd serve  -addr :7009 [-cache DIR] [-lease 10s] [-retries N] [-cycle-budget N]
 //	swexd worker -coordinator host:7009 [-name NAME] [-slots N] [-poll D]
 //	swexd submit -coordinator http://host:7009 [-quick] [-salt S] [-quiet] <matrix>... | all
-//	swexd status -coordinator http://host:7009 [sweep-id]
+//	swexd status -coordinator http://host:7009 [-json] [sweep-id]
 //
 // Matrices: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 scaling
 //
@@ -19,7 +19,8 @@
 // is reachable. submit renders the named exhibit matrices through the
 // coordinator — output is byte-identical to a local swexsweep run.
 // status with no argument lists sweeps, workers, and counters; with a
-// sweep ID it prints that sweep's per-job state.
+// sweep ID it prints that sweep's per-job state. -json switches either
+// form to newline-delimited JSON (one record per sweep or per job).
 package main
 
 import (
@@ -164,6 +165,7 @@ func submit(args []string) error {
 func status(args []string) error {
 	fs := flag.NewFlagSet("swexd status", flag.ExitOnError)
 	coordinator := fs.String("coordinator", "http://localhost:7009", "coordinator base URL")
+	jsonOut := fs.Bool("json", false, "emit newline-delimited JSON records instead of the human-readable report")
 	fs.Parse(args)
 
 	ctx := context.Background()
@@ -172,6 +174,9 @@ func status(args []string) error {
 		st, err := client.Status(ctx, fs.Arg(0))
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			return swexd.WriteStatusJSON(os.Stdout, st)
 		}
 		fmt.Printf("sweep %s: %d job(s), done=%v\n", st.ID, st.Total, st.Done)
 		for _, j := range st.Jobs {
@@ -193,6 +198,9 @@ func status(args []string) error {
 	sweeps, err := client.SweepList(ctx)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return swexd.WriteSweepListJSON(os.Stdout, sweeps)
 	}
 	fmt.Printf("%d sweep(s)\n", len(sweeps))
 	for _, s := range sweeps {

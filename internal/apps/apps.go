@@ -19,6 +19,7 @@ import (
 	"swex/internal/machine"
 	"swex/internal/mem"
 	"swex/internal/proc"
+	"swex/internal/shm"
 	"swex/internal/sim"
 )
 
@@ -33,6 +34,12 @@ type Instance struct {
 	// Regions names larger shared structures (every block base), so
 	// experiments can reconfigure their coherence type block by block.
 	Regions map[string][]mem.Addr
+	// Observations, when non-nil, is the run's per-thread observation
+	// log: programs whose verdict depends on the values individual reads
+	// returned (the litmus tests of internal/litmus) record them here,
+	// and the sweep runner captures the log into the cacheable result.
+	// The paper's six applications and WORKER leave it nil.
+	Observations *shm.ObsLog
 }
 
 // Program is an application: Setup allocates shared state on a machine and

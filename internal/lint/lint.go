@@ -129,6 +129,7 @@ func DefaultConfig() *Config {
 			"swex/internal/mc",
 			"swex/internal/trace",
 			"swex/internal/sweep",
+			"swex/internal/litmus",
 		},
 		FloatExemptPaths: []string{
 			"swex/internal/stats",
@@ -138,6 +139,7 @@ func DefaultConfig() *Config {
 		CycleType:   "swex/internal/sim.Cycle",
 		DocPaths: []string{
 			"swex/internal/lint",
+			"swex/internal/litmus",
 			"swex/internal/mc",
 			"swex/internal/sweep",
 			"swex/internal/swexd",

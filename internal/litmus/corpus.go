@@ -1,0 +1,52 @@
+package litmus
+
+// Test is a named hand-written litmus test.
+type Test struct {
+	// Name is the test's classical litmus name.
+	Name string
+	// Prog is the program.
+	Prog Program
+	// About describes the shape and the outcome sequential consistency
+	// forbids.
+	About string
+}
+
+// Corpus returns the classical hand-written litmus tests, the fixed
+// complement to Generate's random programs: the shapes memory-model
+// folklore says find weak-ordering bugs fastest. Every test's forbidden
+// outcome is an outcome the oracle must reject; the fuzz driver runs the
+// corpus alongside generated programs at every spectrum point.
+func Corpus() []Test {
+	return []Test{
+		{
+			Name:  "SB",
+			Prog:  MustParse("v2;t0:W0:1,R1;t1:W1:2,R0"),
+			About: "store buffering: both threads observing the initial values (0,0) is forbidden",
+		},
+		{
+			Name:  "MP",
+			Prog:  MustParse("v2;t0:W0:1,W1:2;t1:R1,R0"),
+			About: "message passing: observing the flag (2) but stale data (0) is forbidden",
+		},
+		{
+			Name:  "IRIW",
+			Prog:  MustParse("v2;t0:W0:1;t1:W1:2;t2:R0,R1;t3:R1,R0"),
+			About: "independent reads of independent writes: the two readers disagreeing on the write order is forbidden",
+		},
+		{
+			Name:  "CoRR",
+			Prog:  MustParse("v1;t0:W0:1;t1:R0,R0"),
+			About: "coherence of read-read: one thread observing the new then the old value of a single location is forbidden",
+		},
+		{
+			Name:  "WRC",
+			Prog:  MustParse("v2;t0:W0:1;t1:R0,W1:2;t2:R1,R0"),
+			About: "write-to-read causality: the final reader observing the dependent write (2) but not its cause (1) is forbidden",
+		},
+		{
+			Name:  "RMW",
+			Prog:  MustParse("v1;t0:X0:1;t1:X0:2"),
+			About: "atomic exchange: both exchanges observing the initial value is forbidden",
+		},
+	}
+}

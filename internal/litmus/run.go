@@ -1,0 +1,219 @@
+package litmus
+
+import (
+	"fmt"
+	"sort"
+
+	"swex/internal/apps"
+	"swex/internal/machine"
+	"swex/internal/mem"
+	"swex/internal/proc"
+	"swex/internal/proto"
+	"swex/internal/shm"
+	"swex/internal/sim"
+)
+
+// AppName is the apps.Program name litmus programs run under; the sweep
+// layer uses it as the ProgramRef.App marker for litmus jobs.
+const AppName = "LITMUS"
+
+// SpecByAlias resolves a protocol-spectrum alias — the flag vocabulary of
+// the command-line tools: h0, h1ack, h1lack, h1, h2, h3, h4, h5, full,
+// dir1sw.
+func SpecByAlias(alias string) (proto.Spec, error) {
+	switch alias {
+	case "h0":
+		return proto.SoftwareOnly(), nil
+	case "h1ack":
+		return proto.OnePointer(proto.AckSW), nil
+	case "h1lack":
+		return proto.OnePointer(proto.AckLACK), nil
+	case "h1":
+		return proto.OnePointer(proto.AckHW), nil
+	case "h2":
+		return proto.LimitLESS(2), nil
+	case "h3":
+		return proto.LimitLESS(3), nil
+	case "h4":
+		return proto.LimitLESS(4), nil
+	case "h5":
+		return proto.LimitLESS(5), nil
+	case "full":
+		return proto.FullMap(), nil
+	case "dir1sw":
+		return proto.Dir1SW(), nil
+	}
+	return proto.Spec{}, fmt.Errorf("litmus: unknown protocol alias %q", alias)
+}
+
+// SpecAliases returns every spectrum alias SpecByAlias resolves, ordered
+// from most hardware (full map) to least (software-only, then the
+// one-pointer Dir_1 SW variant).
+func SpecAliases() []string {
+	return []string{"full", "h5", "h4", "h3", "h2", "h1", "h1lack", "h1ack", "h0", "dir1sw"}
+}
+
+// CompatibleBase reports whether a machine built on the base spec can
+// host every per-variable protocol override of p. This mirrors
+// proto.HomeCtl.Configure's expressibility rule: a hardware-only
+// override (full map) is expressible anywhere, while a software
+// override needs the base machine to carry protocol software of the
+// same family — the software-only Dir_nH_0 handlers and the
+// limited-pointer extension handlers are different programs, and a
+// full-map machine installs none at all. Unknown override aliases also
+// report false.
+func CompatibleBase(p Program, base proto.Spec) bool {
+	for v := 0; v < p.Vars; v++ {
+		alias, ok := p.Specs[v]
+		if !ok {
+			continue
+		}
+		spec, err := SpecByAlias(alias)
+		if err != nil {
+			return false
+		}
+		if !spec.UsesSoftware() {
+			continue
+		}
+		if !base.UsesSoftware() || spec.SoftwareOnly != base.SoftwareOnly {
+			return false
+		}
+	}
+	return true
+}
+
+// AppProgram compiles the litmus program into an apps.Program: setup
+// allocates each variable its own cache block (staggered so no two
+// variables share a direct-mapped cache set), applies per-variable
+// protocol overrides, and returns an instance whose threads execute the
+// program's operations and log observations into Instance.Observations.
+func (p Program) AppProgram() apps.Program {
+	return apps.Program{Name: AppName, Setup: p.setup}
+}
+
+// setup builds the program's shared state on m.
+func (p Program) setup(m *machine.Machine) apps.Instance {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("litmus: %v", err))
+	}
+	nodes := m.Mem.Nodes()
+	if len(p.Threads) > nodes {
+		panic(fmt.Sprintf("litmus: %d threads on a %d-node machine", len(p.Threads), nodes))
+	}
+	tpn := m.Cfg.ThreadsPerNode
+	if tpn < 1 {
+		tpn = 1
+	}
+	// One block per variable, homes striped across nodes. The pad before
+	// each allocation staggers the block index within the segment, so no
+	// two variables ever map to the same direct-mapped cache set — a
+	// conflict eviction would silently refresh a stale copy and hide the
+	// very reorderings the tests exist to hunt.
+	addrs := make([]mem.Addr, p.Vars)
+	probes := make(map[string]mem.Addr, p.Vars)
+	blocks := make([]mem.Addr, p.Vars)
+	for i := range addrs {
+		home := mem.NodeID(i % nodes)
+		if i > 0 {
+			m.Mem.AllocOn(home, i*mem.WordsPerBlock)
+		}
+		addrs[i] = m.Mem.AllocOn(home, mem.WordsPerBlock)
+		probes[fmt.Sprintf("v%d", i)] = addrs[i]
+		blocks[i] = mem.BlockOf(addrs[i]).Base()
+	}
+	if len(p.Specs) > 0 {
+		vs := make([]int, 0, len(p.Specs))
+		for v := range p.Specs {
+			vs = append(vs, v)
+		}
+		sort.Ints(vs)
+		for _, v := range vs {
+			spec, err := SpecByAlias(p.Specs[v])
+			if err != nil {
+				panic(fmt.Sprintf("litmus: %v", err))
+			}
+			if err := m.ConfigureBlock(mem.BlockOf(addrs[v]), spec); err != nil {
+				panic(fmt.Sprintf("litmus: configuring v%d: %v", v, err))
+			}
+		}
+	}
+	log := shm.NewObsLog(nodes, tpn)
+	threads := p.Threads
+	return apps.Instance{
+		Thread: func(env *proc.Env) {
+			t := int(env.ID())
+			if t >= len(threads) || env.Thread() != 0 {
+				return
+			}
+			for _, op := range threads[t] {
+				switch op.Kind {
+				case OpRead:
+					log.Observe(env, addrs[op.Var])
+				case OpWrite:
+					env.Write(addrs[op.Var], op.Arg)
+				case OpRMW:
+					v := op.Arg
+					old := env.RMW(addrs[op.Var], func(uint64) uint64 { return v })
+					log.Record(env, old)
+				case OpFence:
+					env.CheckIn(addrs[op.Var])
+				case OpCompute:
+					env.Compute(sim.Cycle(op.Arg))
+				}
+			}
+		},
+		Probes:       probes,
+		Regions:      map[string][]mem.Addr{"vars": blocks},
+		Observations: log,
+	}
+}
+
+// ThreadObs extracts the program threads' observation lists from a
+// machine-shaped observation dump (nodes × threadsPerNode dense slots, as
+// captured into sweep results): thread t of the program ran as context 0
+// of node t. Observations in any other slot — a context the program never
+// uses — are an error.
+func ThreadObs(p Program, dump [][]uint64, threadsPerNode int) ([][]uint64, error) {
+	if threadsPerNode < 1 {
+		threadsPerNode = 1
+	}
+	out := make([][]uint64, len(p.Threads))
+	for t := range p.Threads {
+		slot := t * threadsPerNode
+		if slot >= len(dump) {
+			return nil, fmt.Errorf("litmus: dump has %d slots, thread %d needs slot %d", len(dump), t, slot)
+		}
+		out[t] = dump[slot]
+	}
+	for i, vals := range dump {
+		if len(vals) == 0 {
+			continue
+		}
+		if i%threadsPerNode != 0 || i/threadsPerNode >= len(p.Threads) {
+			return nil, fmt.Errorf("litmus: slot %d logged %d values but no program thread ran there", i, len(vals))
+		}
+	}
+	return out, nil
+}
+
+// WeakenedFixture returns the oracle's negative control: a
+// message-passing-shaped program and a machine configuration weakened to
+// silently drop the run's first invalidation (machine.Config.LoseInv = 1;
+// the protocol checker is off by default). The writer publishes data then
+// a flag; the dropped invalidation leaves the reader's cached copy of the
+// data stale, so the reader observes the flag's new value and then the
+// data's old one — an outcome no sequentially consistent order explains,
+// which the oracle must flag with a constraint-cycle witness. A fuzzing
+// pipeline that fails to flag this run is broken.
+func WeakenedFixture(nodes int) (Program, machine.Config) {
+	if nodes < 2 {
+		panic(fmt.Sprintf("litmus: weakened fixture needs at least 2 nodes, got %d", nodes))
+	}
+	// t1 caches v0 early; t0 writes v0 (the invalidation is dropped),
+	// then the flag v1. t1's delay outlasts both writes, so it reads the
+	// new flag and the stale data from its unmolested cached block.
+	p := MustParse("v2;t0:C200,W0:1,W1:2;t1:R0,C600,R1,R0")
+	cfg := machine.DefaultConfig(nodes, proto.FullMap())
+	cfg.LoseInv = 1
+	return p, cfg
+}

@@ -1,0 +1,242 @@
+package litmus
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"swex/internal/machine"
+	"swex/internal/proto"
+	"swex/internal/sim"
+)
+
+// execute runs p on a fresh machine and returns the per-thread
+// observations.
+func execute(t *testing.T, p Program, cfg machine.Config) [][]uint64 {
+	t.Helper()
+	m := machine.MustNew(cfg)
+	inst := p.setup(m)
+	if _, err := m.Run(inst.Thread, 50_000_000); err != nil {
+		t.Fatalf("running %s: %v", p, err)
+	}
+	obs, err := ThreadObs(p, inst.Observations.Values(), cfg.ThreadsPerNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obs
+}
+
+func TestCorpusSequentiallyConsistentAcrossSpectrum(t *testing.T) {
+	for _, alias := range []string{"full", "h1ack", "dir1sw"} {
+		spec, err := SpecByAlias(alias)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range Corpus() {
+			t.Run(alias+"/"+tc.Name, func(t *testing.T) {
+				obs := execute(t, tc.Prog, machine.DefaultConfig(4, spec))
+				v, err := CheckSC(tc.Prog, obs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !v.OK {
+					t.Fatalf("%s under %s is not sequentially consistent: obs %v, witness %q",
+						tc.Name, alias, obs, v.Witness)
+				}
+			})
+		}
+	}
+}
+
+func TestPerVariableSpecOverride(t *testing.T) {
+	// The same MP shape with each variable pinned to a different
+	// spectrum point must still be sequentially consistent. The base
+	// machine must carry protocol software for the overrides to have
+	// handlers to run on, so it is h1ack rather than full-map.
+	p := MustParse("v2;c0:dir1sw;c1:h2;t0:W0:1,W1:2;t1:R1,R0")
+	obs := execute(t, p, machine.DefaultConfig(4, mustSpec(t, "h1ack")))
+	v, err := CheckSC(p, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK {
+		t.Fatalf("mixed-protocol MP violated SC: obs %v, witness %q", obs, v.Witness)
+	}
+}
+
+func TestWeakenedFixtureFlagged(t *testing.T) {
+	// The negative control: a machine that drops the first invalidation
+	// must produce the forbidden message-passing outcome, and the oracle
+	// must flag it with a constraint-cycle witness.
+	p, cfg := WeakenedFixture(4)
+	obs := execute(t, p, cfg)
+	want := [][]uint64{nil, {0, 2, 0}}
+	if !reflect.DeepEqual(obs, want) {
+		t.Fatalf("weakened machine observed %v, fixture expects %v (stale data after new flag)", obs, want)
+	}
+	v, err := CheckConstraints(p, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK {
+		t.Fatal("oracle passed the lost-invalidation outcome")
+	}
+	if !strings.Contains(v.Witness, "cycle") {
+		t.Fatalf("violation witness is not a constraint cycle: %q", v.Witness)
+	}
+}
+
+func TestWeakenedFixtureCleanWithoutFault(t *testing.T) {
+	// The same program on an unweakened machine is the positive control.
+	p, cfg := WeakenedFixture(4)
+	cfg.LoseInv = 0
+	obs := execute(t, p, cfg)
+	v, err := CheckSC(p, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK {
+		t.Fatalf("unweakened machine violated SC: obs %v, witness %q", obs, v.Witness)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, tc := range Corpus() {
+		enc := tc.Prog.String()
+		back, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		if !reflect.DeepEqual(back, tc.Prog) {
+			t.Fatalf("%s: round trip changed the program: %q -> %q", tc.Name, enc, back.String())
+		}
+	}
+	r := sim.NewRand(7)
+	for i := 0; i < 50; i++ {
+		p := Generate(r, GenConfig{Threads: 3, Vars: 3, Ops: 5, SpecAliases: []string{"full", "dir1sw"}})
+		back, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("generated program %q does not parse: %v", p.String(), err)
+		}
+		if back.String() != p.String() {
+			t.Fatalf("round trip changed encoding: %q -> %q", p.String(), back.String())
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, enc := range []string{
+		"",
+		"x2;t0:R0",
+		"v0;t0:R0",
+		"v2;t1:R0",
+		"v2;t0:R0;t0:R1",
+		"v2;t0:Q0",
+		"v2;t0:W0:0",
+		"v2;t0:W0:5,W1:5",
+		"v2;t0:R5",
+		"v2;c5:full;t0:R0",
+		"v2;c0:bogus;t0:R0",
+		"v2;t0:R0;c0:full",
+		"v2;t0:C0",
+	} {
+		if _, err := Parse(enc); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed encoding", enc)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(sim.NewRand(99), GenConfig{Threads: 4, Vars: 3, Ops: 6, SpecAliases: SpecAliases()})
+	b := Generate(sim.NewRand(99), GenConfig{Threads: 4, Vars: 3, Ops: 6, SpecAliases: SpecAliases()})
+	if a.String() != b.String() {
+		t.Fatalf("equal seeds generated different programs:\n%s\n%s", a, b)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadObsRejectsStray(t *testing.T) {
+	p := MustParse("v1;t0:R0;t1:W0:1")
+	if _, err := ThreadObs(p, [][]uint64{{0}, {}, {3}, {}}, 1); err == nil {
+		t.Error("observations on a node beyond the program accepted")
+	}
+	if _, err := ThreadObs(p, [][]uint64{{0}}, 1); err == nil {
+		t.Error("dump smaller than the thread count accepted")
+	}
+	got, err := ThreadObs(p, [][]uint64{{0}, {}, {}, {}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, [][]uint64{{0}, {}}) {
+		t.Fatalf("ThreadObs = %v", got)
+	}
+}
+
+func TestCompatibleBase(t *testing.T) {
+	cases := []struct {
+		prog string
+		base string
+		ok   bool
+	}{
+		{"v1;t0:R0", "full", true},
+		{"v1;t0:R0", "h0", true},
+		{"v1;c0:full;t0:R0", "full", true},
+		{"v1;c0:full;t0:R0", "h0", true},
+		{"v1;c0:h2;t0:R0", "full", false},
+		{"v1;c0:h2;t0:R0", "h1ack", true},
+		{"v1;c0:h2;t0:R0", "h0", false},
+		{"v1;c0:h0;t0:R0", "h0", true},
+		{"v1;c0:h0;t0:R0", "h2", false},
+		{"v2;c0:h0;c1:h2;t0:R0", "h0", false},
+		{"v2;c0:h0;c1:h2;t0:R0", "h2", false},
+		{"v1;c0:dir1sw;t0:R0", "h1lack", true},
+	}
+	for _, tc := range cases {
+		got := CompatibleBase(MustParse(tc.prog), mustSpec(t, tc.base))
+		if got != tc.ok {
+			t.Errorf("CompatibleBase(%q, %s) = %v, want %v", tc.prog, tc.base, got, tc.ok)
+		}
+	}
+	// The rule must agree with the machine: every compatible pairing
+	// configures, every incompatible one is rejected.
+	p := MustParse("v2;c0:h2;c1:dir1sw;t0:W0:1,W1:2;t1:R1,R0")
+	for _, alias := range SpecAliases() {
+		base := mustSpec(t, alias)
+		m := machine.MustNew(machine.DefaultConfig(4, base))
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("%v", r)
+				}
+			}()
+			p.setup(m)
+			return nil
+		}()
+		if CompatibleBase(p, base) != (err == nil) {
+			t.Errorf("CompatibleBase(%s) = %v but setup err = %v", alias, CompatibleBase(p, base), err)
+		}
+	}
+}
+
+func TestSpecAliasesResolve(t *testing.T) {
+	for _, alias := range SpecAliases() {
+		if _, err := SpecByAlias(alias); err != nil {
+			t.Errorf("alias %q does not resolve: %v", alias, err)
+		}
+	}
+	if _, err := SpecByAlias("bogus"); err == nil {
+		t.Error("unknown alias resolved")
+	}
+}
+
+func mustSpec(t *testing.T, alias string) proto.Spec {
+	t.Helper()
+	spec, err := SpecByAlias(alias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}

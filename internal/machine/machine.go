@@ -71,6 +71,16 @@ type Config struct {
 	CacheWays int
 	// Timing overrides hardware latencies (zero value = defaults).
 	Timing proto.Timing
+	// LoseInv, when positive, deliberately weakens the protocol: the
+	// N-th invalidation message the machine sends (counted machine-wide,
+	// 1-based) is silently dropped, and its acknowledgment is spoofed so
+	// the issuing transaction still completes. The victim keeps a stale
+	// copy the directory no longer tracks — the classic lost-invalidation
+	// bug. This is a verification fixture, not a machine feature: the
+	// litmus-fuzzing subsystem (internal/litmus, cmd/swexfuzz) runs it to
+	// prove the sequential-consistency oracle catches real coherence
+	// violations. Zero (the default) models the correct protocol.
+	LoseInv int
 	// CustomSoftware installs a user-written protocol extension instead
 	// of the built-in handlers — the paper's Section 7 "write an
 	// application-specific protocol under the flexible coherence
@@ -148,6 +158,22 @@ func New(cfg Config) (*Machine, error) {
 	}
 	fabric.BatchReads = cfg.BatchReads
 	fabric.MigratoryDetect = cfg.MigratoryDetect
+	if cfg.LoseInv > 0 {
+		remaining := cfg.LoseInv
+		fabric.Fault = func(m proto.Msg) bool {
+			if m.Kind != proto.MsgINV {
+				return false
+			}
+			remaining--
+			if remaining != 0 {
+				return false
+			}
+			// Spoof the acknowledgment so the home's transaction
+			// completes while the victim's stale copy survives.
+			fabric.Send(proto.Msg{Kind: proto.MsgACK, Src: m.Dst, Dst: m.Src, Block: m.Block, Epoch: m.Epoch})
+			return true
+		}
+	}
 	if cfg.Trace != nil {
 		fabric.Sink = cfg.Trace
 		net.Obs = fabric

@@ -268,6 +268,12 @@ func (e *Env) ID() mem.NodeID { return e.thread.node.ID }
 // paper's single-threaded configurations).
 func (e *Env) Thread() int { return e.thread.idx }
 
+// NodeThreads returns how many hardware contexts this thread's node runs.
+// Observation capture uses it to give every context in the machine a
+// distinct dense index (node*NodeThreads+Thread) without threading the
+// machine configuration through to application code.
+func (e *Env) NodeThreads() int { return len(e.thread.node.threads) }
+
 // Read loads the word at a.
 func (e *Env) Read(a mem.Addr) uint64 {
 	return e.do(request{kind: opRead, addr: a})

@@ -57,6 +57,25 @@ type HomeCtl struct {
 	// hardware processing (see procTag.Fire).
 	jobPool []*procTag
 
+	// Invalidation-target scratch state: invTargets collects each
+	// transaction's target set into a pooled slice (invPool) instead of
+	// a fresh allocation, deduplicating through a generation-stamped
+	// per-node array (invSeen/invGen) instead of a fresh map. invOut and
+	// invReq are the collection-in-progress registers invAdd reads, and
+	// invAddFn is invAdd pre-bound once so handing it to
+	// dir.PointerSet.ForEach does not allocate a method value per call.
+	// A slice is released back to the pool by the caller once the
+	// transaction's invalidations are on the wire (for software write
+	// faults that is inside the deferred trap body, which is why a
+	// single scratch buffer would not do: several blocks' faults can be
+	// outstanding at once).
+	invPool  [][]mem.NodeID
+	invSeen  []uint32
+	invGen   uint32
+	invReq   mem.NodeID
+	invOut   []mem.NodeID
+	invAddFn func(mem.NodeID)
+
 	// Traps counts software handler invocations by kind.
 	Traps uint64
 	// BusySent counts busy (retry) replies.
@@ -66,7 +85,7 @@ type HomeCtl struct {
 }
 
 func newHomeCtl(f *Fabric, node mem.NodeID) *HomeCtl {
-	return &HomeCtl{
+	h := &HomeCtl{
 		f:            f,
 		node:         node,
 		dir:          dir.New(f.Spec.PointerCapacity(f.Net.Nodes())),
@@ -77,7 +96,10 @@ func newHomeCtl(f *Fabric, node mem.NodeID) *HomeCtl {
 		pendingWrite: make(map[mem.Block]mem.NodeID),
 		overrides:    make(map[mem.Block]Spec),
 		mig:          make(map[mem.Block]*migState),
+		invSeen:      make([]uint32, f.Net.Nodes()),
 	}
+	h.invAddFn = h.invAdd
+	return h
 }
 
 // Deliver queues an incoming protocol message for hardware processing.
@@ -468,6 +490,7 @@ func (h *HomeCtl) dispatchWrite(b mem.Block, e *dir.Entry, r mem.NodeID) {
 func (h *HomeCtl) hwWrite(b mem.Block, e *dir.Entry, r mem.NodeID) {
 	targets := h.invTargets(b, e, r, false)
 	if len(targets) == 0 {
+		h.releaseInv(targets)
 		h.grantWrite(b, e, r)
 		return
 	}
@@ -483,6 +506,7 @@ func (h *HomeCtl) hwWrite(b mem.Block, e *dir.Entry, r mem.NodeID) {
 		h.f.Send(Msg{Kind: MsgINV, Src: h.node, Dst: t, Block: b, Epoch: e.Epoch})
 	}
 	h.f.Counters.Addc("home.hw_invalidations", uint64(len(targets)))
+	h.releaseInv(targets)
 }
 
 // swWriteFault runs the software write handler: look up the extended
@@ -506,6 +530,7 @@ func (h *HomeCtl) swWriteFault(b mem.Block, e *dir.Entry, r mem.NodeID) {
 			e.BroadcastBit = false
 			h.swTxn[b] = true
 			if len(targets) == 0 {
+				h.releaseInv(targets)
 				h.grantWrite(b, e, r)
 				return
 			}
@@ -513,6 +538,7 @@ func (h *HomeCtl) swWriteFault(b mem.Block, e *dir.Entry, r mem.NodeID) {
 				h.f.Send(Msg{Kind: MsgINV, Src: h.node, Dst: t, Block: b, Epoch: e.Epoch})
 			}
 			h.f.Counters.Addc("home.sw_invalidations", uint64(len(targets)))
+			h.releaseInv(targets)
 			if spec.AckMode == AckSW {
 				// Software fields every acknowledgment: the block stays
 				// under software control.
@@ -525,36 +551,69 @@ func (h *HomeCtl) swWriteFault(b mem.Block, e *dir.Entry, r mem.NodeID) {
 
 // invTargets collects the nodes holding copies that must be invalidated
 // for requester r: hardware pointers, the local bit, the software-extended
-// list, or — for a pending broadcast — every node in the machine.
+// list, or — for a pending broadcast — every node in the machine. The
+// returned slice comes from a per-home pool; the caller must hand it back
+// through releaseInv once the transaction's invalidations are sent.
 func (h *HomeCtl) invTargets(b mem.Block, e *dir.Entry, r mem.NodeID, broadcast bool) []mem.NodeID {
 	n := h.f.Net.Nodes()
+	h.invGen++
+	if h.invGen == 0 {
+		// Generation counter wrapped: every stamp in invSeen is now
+		// ambiguous, so clear them all and restart at generation one.
+		for i := range h.invSeen {
+			h.invSeen[i] = 0
+		}
+		h.invGen = 1
+	}
+	h.invReq = r
+	h.invOut = h.grabInv()
 	if broadcast {
-		out := make([]mem.NodeID, 0, n-1)
 		for i := 0; i < n; i++ {
-			if mem.NodeID(i) != r {
-				out = append(out, mem.NodeID(i))
+			h.invAdd(mem.NodeID(i))
+		}
+	} else {
+		e.Ptrs.ForEach(h.invAddFn)
+		if e.LocalBit {
+			h.invAdd(h.node)
+		}
+		if e.SwExt && h.f.Soft != nil {
+			for _, id := range h.f.Soft.SharersOf(b) {
+				h.invAdd(id)
 			}
 		}
-		return out
 	}
-	seen := make(map[mem.NodeID]bool)
-	var out []mem.NodeID
-	add := func(id mem.NodeID) {
-		if id != r && !seen[id] {
-			seen[id] = true
-			out = append(out, id)
-		}
-	}
-	e.Ptrs.ForEach(add)
-	if e.LocalBit {
-		add(h.node)
-	}
-	if e.SwExt && h.f.Soft != nil {
-		for _, id := range h.f.Soft.SharersOf(b) {
-			add(id)
-		}
-	}
+	out := h.invOut
+	h.invOut = nil
 	return out
+}
+
+// invAdd appends one deduplicated invalidation target to the collection
+// invTargets has in progress, skipping the requester.
+func (h *HomeCtl) invAdd(id mem.NodeID) {
+	if id == h.invReq || h.invSeen[id] == h.invGen {
+		return
+	}
+	h.invSeen[id] = h.invGen
+	h.invOut = append(h.invOut, id)
+}
+
+// grabInv takes an empty target slice from the pool (or grows the pool on
+// first use / at new outstanding-transaction depths).
+func (h *HomeCtl) grabInv() []mem.NodeID {
+	if n := len(h.invPool); n > 0 {
+		s := h.invPool[n-1]
+		h.invPool[n-1] = nil
+		h.invPool = h.invPool[:n-1]
+		return s
+	}
+	return make([]mem.NodeID, 0, h.f.Net.Nodes())
+}
+
+// releaseInv returns a target slice obtained from invTargets to the pool.
+// Callers release only after the last read of the slice — for software
+// write faults that is the end of the deferred trap body.
+func (h *HomeCtl) releaseInv(s []mem.NodeID) {
+	h.invPool = append(h.invPool, s[:0])
 }
 
 // grantWrite gives r exclusive ownership. Any pointer state left from the

@@ -1,6 +1,7 @@
 package shm
 
 import (
+	"fmt"
 	"testing"
 
 	"swex/internal/machine"
@@ -33,22 +34,27 @@ func readWord(t *testing.T, m *machine.Machine, a mem.Addr) uint64 {
 
 func TestBarrierNoEarlyPass(t *testing.T) {
 	// Every node increments a pre-barrier counter, crosses the barrier,
-	// and then verifies the counter shows all arrivals.
+	// and logs the counter value it observes afterwards: all P arrivals
+	// must be visible to every node. The observation log replaces the
+	// older ad-hoc per-node violation counters and pins the outcome with
+	// a deterministic rendering.
 	const P = 8
-	var violations int
+	log := NewObsLog(P, 1)
 	m := run(t, P, proto.FullMap(), func(m *machine.Machine) func(*proc.Env) {
 		bar := NewBarrier(m.Mem, 0, P)
 		pre := m.Mem.AllocOn(1, 1)
 		return func(env *proc.Env) {
 			env.FetchAdd(pre, 1)
 			bar.Wait(env)
-			if env.Read(pre) != P {
-				violations++
-			}
+			log.Observe(env, pre)
 		}
 	})
-	if violations != 0 {
-		t.Fatalf("%d nodes passed the barrier before all arrived", violations)
+	want := ""
+	for n := 0; n < P; n++ {
+		want += fmt.Sprintf("t%d: %d\n", n, P)
+	}
+	if got := log.String(); got != want {
+		t.Fatalf("post-barrier observations:\n%s\nwant every node to see all %d arrivals:\n%s", got, P, want)
 	}
 	_ = m
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"swex/internal/apps"
+	"swex/internal/litmus"
 	"swex/internal/machine"
 	"swex/internal/sim"
 )
@@ -15,18 +16,22 @@ import (
 // benchmark (paper Section 5). The six applications use their paper names.
 const WorkerName = "WORKER"
 
+// LitmusName is the ProgramRef.App value naming a litmus test; the
+// program itself lives in ProgramRef.Litmus.
+const LitmusName = litmus.AppName
+
 // codeVersion salts every job key. Bump it whenever a change alters
 // simulation results (cycle counts, handler accounting, protocol
 // behavior), so stale cache entries from the previous semantics can never
 // satisfy a new sweep. Purely additive changes (new fields captured into
 // Result) also require a bump, since cached objects would lack them.
-const codeVersion = "swex-sim-v1"
+const codeVersion = "swex-sim-v2"
 
 // ProgramRef names a workload canonically, so a job can be hashed,
 // journaled, and re-resolved in a later process.
 type ProgramRef struct {
-	// App is WorkerName or one of the paper names in apps.Registry
-	// (TSP, AQ, SMGRID, EVOLVE, MP3D, WATER).
+	// App is WorkerName, LitmusName, or one of the paper names in
+	// apps.Registry (TSP, AQ, SMGRID, EVOLVE, MP3D, WATER).
 	App string
 	// Quick selects the reduced problem size from apps.QuickRegistry.
 	// Ignored for WORKER, whose size is explicit.
@@ -35,6 +40,11 @@ type ProgramRef struct {
 	SetSize int
 	// Iters is the WORKER iteration count (App == WorkerName).
 	Iters int
+	// Litmus is the canonical litmus-program encoding (App ==
+	// LitmusName), produced by litmus.Program.String. The encoding is
+	// part of the job key, so every distinct program is a distinct
+	// cacheable computation.
+	Litmus string
 }
 
 // Resolve looks the reference up in the application registry.
@@ -44,6 +54,13 @@ func (p ProgramRef) Resolve() (apps.Program, error) {
 			return apps.Program{}, fmt.Errorf("sweep: WORKER job needs positive SetSize and Iters (got %d, %d)", p.SetSize, p.Iters)
 		}
 		return apps.Worker(apps.WorkerParams{SetSize: p.SetSize, Iters: p.Iters}), nil
+	}
+	if p.App == LitmusName {
+		prog, err := litmus.Parse(p.Litmus)
+		if err != nil {
+			return apps.Program{}, err
+		}
+		return prog.AppProgram(), nil
 	}
 	registry := apps.Registry()
 	if p.Quick {
@@ -83,6 +100,13 @@ func AppJob(name string, quick bool, cfg machine.Config) Job {
 	return Job{Program: ProgramRef{App: name, Quick: quick}, Config: cfg}
 }
 
+// LitmusJob builds a job running the litmus program on the configuration;
+// the program's observation log is captured into Result.Obs for the
+// sequential-consistency oracle.
+func LitmusJob(p litmus.Program, cfg machine.Config) Job {
+	return Job{Program: ProgramRef{App: LitmusName, Litmus: p.String()}, Config: cfg}
+}
+
 // Key renders the job as a canonical string: every field that influences
 // the simulation outcome, in a fixed order, plus the code-version salt.
 // Configurations that cannot be described canonically (an installed trace
@@ -98,6 +122,9 @@ func (j Job) Key(salt string) (string, error) {
 	if strings.ContainsAny(j.Program.App, "|=") {
 		return "", fmt.Errorf("sweep: program name %q contains key metacharacters", j.Program.App)
 	}
+	if strings.ContainsAny(j.Program.Litmus, "|=") {
+		return "", fmt.Errorf("sweep: litmus encoding %q contains key metacharacters", j.Program.Litmus)
+	}
 	c := j.Config
 	s := c.Spec
 	t := c.Timing
@@ -111,7 +138,9 @@ func (j Job) Key(salt string) (string, error) {
 	put("quick", j.Program.Quick)
 	put("set", j.Program.SetSize)
 	put("iters", j.Program.Iters)
+	put("litmus", j.Program.Litmus)
 	put("nodes", c.Nodes)
+	put("loseinv", c.LoseInv)
 	put("spec", s.Name)
 	put("hw", s.HWPointers)
 	put("fullmap", s.FullMap)

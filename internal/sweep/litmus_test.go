@@ -1,0 +1,98 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"swex/internal/litmus"
+	"swex/internal/machine"
+	"swex/internal/proto"
+)
+
+// litmusMatrix returns the corpus compiled into jobs on a 4-node
+// full-map machine.
+func litmusMatrix() []Job {
+	corpus := litmus.Corpus()
+	jobs := make([]Job, len(corpus))
+	for i, tc := range corpus {
+		jobs[i] = LitmusJob(tc.Prog, machine.DefaultConfig(4, proto.FullMap()))
+	}
+	return jobs
+}
+
+func TestLitmusJobCapturesObservations(t *testing.T) {
+	jobs := litmusMatrix()
+	r := MustNewRunner(Config{Workers: 2})
+	defer r.Close()
+	results, err := r.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := litmus.Corpus()
+	for i, res := range results {
+		if res.Obs == nil {
+			t.Fatalf("%s: result carries no observation log", corpus[i].Name)
+		}
+		obs, err := litmus.ThreadObs(corpus[i].Prog, res.Obs, jobs[i].Config.ThreadsPerNode)
+		if err != nil {
+			t.Fatalf("%s: %v", corpus[i].Name, err)
+		}
+		v, err := litmus.CheckSC(corpus[i].Prog, obs)
+		if err != nil {
+			t.Fatalf("%s: %v", corpus[i].Name, err)
+		}
+		if !v.OK {
+			t.Fatalf("%s: full-map run not sequentially consistent: obs %v", corpus[i].Name, obs)
+		}
+	}
+}
+
+func TestLitmusJobObservationsRideTheCache(t *testing.T) {
+	jobs := litmusMatrix()
+	dir := t.TempDir()
+
+	cold := MustNewRunner(Config{Workers: 2, CacheDir: dir})
+	coldRes, err := cold.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs := cold.TotalExecs()
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if execs != len(jobs) {
+		t.Fatalf("cold run executed %d of %d jobs", execs, len(jobs))
+	}
+
+	warm := MustNewRunner(Config{Workers: 2, CacheDir: dir})
+	defer warm.Close()
+	warmRes, err := warm.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.TotalExecs() != 0 {
+		t.Fatalf("warm run executed %d simulations, want 0", warm.TotalExecs())
+	}
+	if !reflect.DeepEqual(coldRes, warmRes) {
+		t.Fatal("cached litmus results differ from the executed ones")
+	}
+}
+
+func TestLitmusJobKeyDistinguishesFaultInjection(t *testing.T) {
+	p, cfg := litmus.WeakenedFixture(4)
+	weak := LitmusJob(p, cfg)
+	cfg.LoseInv = 0
+	clean := LitmusJob(p, cfg)
+	kw, err := weak.Key("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kc, err := clean.Key("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kw == kc {
+		t.Fatal("lost-invalidation config shares a cache key with the clean one")
+	}
+}

@@ -49,6 +49,13 @@ type Result struct {
 	// WorkerSets is the per-block maximum worker-set histogram (Figure 6),
 	// in ascending bucket order.
 	WorkerSets []HistBucket
+	// Obs is the run's observation log — per dense thread slot
+	// (node × context), each thread's observed read values in program
+	// order — captured when the workload installs one
+	// (apps.Instance.Observations; litmus programs do, the paper's
+	// applications do not). The sequential-consistency oracle judges
+	// these values, so they ride the cache with the rest of the result.
+	Obs [][]uint64 `json:",omitempty"`
 }
 
 // CaptureResult distills a live machine.Result into the cacheable form.

@@ -131,6 +131,10 @@ type Outcome struct {
 
 // String names a job for error messages.
 func (j Job) String() string {
+	if j.Program.App == LitmusName {
+		return fmt.Sprintf("%s(%s) on %d nodes under %s",
+			j.Program.App, j.Program.Litmus, j.Config.Nodes, j.Config.Spec.Name)
+	}
 	return fmt.Sprintf("%s(set=%d,iters=%d,quick=%v) on %d nodes under %s",
 		j.Program.App, j.Program.SetSize, j.Program.Iters, j.Program.Quick,
 		j.Config.Nodes, j.Config.Spec.Name)
@@ -332,11 +336,15 @@ func Execute(job Job, defaultLimit sim.Cycle) (res Result, err error) {
 	if limit == 0 {
 		limit = defaultLimit
 	}
-	mres, _, err := prog.Run(m, limit)
+	mres, inst, err := prog.Run(m, limit)
 	if err != nil {
 		return Result{}, err
 	}
-	return CaptureResult(mres), nil
+	res = CaptureResult(mres)
+	if inst.Observations != nil {
+		res.Obs = inst.Observations.Values()
+	}
+	return res, nil
 }
 
 // ExecCount reports how many times the job's simulation actually ran under

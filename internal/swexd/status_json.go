@@ -1,0 +1,63 @@
+package swexd
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// StatusRecord is the machine-readable record `swexd status -json` emits,
+// one JSON object per line (the NDJSON convention swexlint -json
+// established): each line is one job of a sweep, carrying the sweep
+// identifier so records from several sweeps concatenate without framing.
+type StatusRecord struct {
+	// Sweep is the sweep the job belongs to.
+	Sweep string `json:"sweep"`
+	// Index is the job's position in the submitted matrix.
+	Index int `json:"index"`
+	// Hash is the job's content hash (empty for admission rejects).
+	Hash string `json:"hash,omitempty"`
+	// Desc is the human-readable job description.
+	Desc string `json:"desc"`
+	// State is the job's current state.
+	State JobState `json:"state"`
+	// Worker identifies the worker holding or last holding the job.
+	Worker string `json:"worker,omitempty"`
+	// Retries counts how many times the job has been re-issued.
+	Retries int `json:"retries,omitempty"`
+	// Err carries the failure text for failed jobs.
+	Err string `json:"err,omitempty"`
+}
+
+// WriteStatusJSON renders one sweep's status as newline-delimited
+// StatusRecord objects in job-submission order.
+func WriteStatusJSON(w io.Writer, st SweepStatus) error {
+	enc := json.NewEncoder(w)
+	for _, j := range st.Jobs {
+		rec := StatusRecord{
+			Sweep:   st.ID,
+			Index:   j.Index,
+			Hash:    j.Hash,
+			Desc:    j.Desc,
+			State:   j.State,
+			Worker:  j.Worker,
+			Retries: j.Retries,
+			Err:     j.Err,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSweepListJSON renders the sweep listing as newline-delimited
+// SweepSummary objects, one sweep per line, in listing order.
+func WriteSweepListJSON(w io.Writer, sweeps []SweepSummary) error {
+	enc := json.NewEncoder(w)
+	for _, s := range sweeps {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

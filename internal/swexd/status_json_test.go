@@ -1,0 +1,57 @@
+package swexd
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWriteStatusJSONGolden(t *testing.T) {
+	st := SweepStatus{
+		ID:    "sw-1",
+		Total: 3,
+		Done:  false,
+		Jobs: []JobStatus{
+			{Index: 0, Hash: "aaaa", Desc: "LITMUS(v1;t0:W0:1) on 4 nodes under FullMap", State: StateDone},
+			{Index: 1, Hash: "bbbb", Desc: "matmul 64 on 16 nodes under Dir1H1SB", State: StateRunning, Worker: "w-2"},
+			{Index: 2, Desc: "bad job", State: StateFailed, Worker: "w-1", Retries: 2, Err: "machine: deadlock"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteStatusJSON(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"sweep":"sw-1","index":0,"hash":"aaaa","desc":"LITMUS(v1;t0:W0:1) on 4 nodes under FullMap","state":"done"}
+{"sweep":"sw-1","index":1,"hash":"bbbb","desc":"matmul 64 on 16 nodes under Dir1H1SB","state":"running","worker":"w-2"}
+{"sweep":"sw-1","index":2,"desc":"bad job","state":"failed","worker":"w-1","retries":2,"err":"machine: deadlock"}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("status NDJSON mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteSweepListJSONGolden(t *testing.T) {
+	sweeps := []SweepSummary{
+		{ID: "sw-1", Total: 2, Done: true, Counts: map[string]int{"done": 2}},
+		{ID: "sw-2", Total: 1, Done: false, Counts: map[string]int{"queued": 1}},
+	}
+	var buf bytes.Buffer
+	if err := WriteSweepListJSON(&buf, sweeps); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"id":"sw-1","total":2,"done":true,"counts":{"done":2}}
+{"id":"sw-2","total":1,"done":false,"counts":{"queued":1}}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("sweep list NDJSON mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteSweepListJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSweepListJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty listing produced output %q", buf.String())
+	}
+}
