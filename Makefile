@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet race check mc mc-smoke mc-por-smoke bench bench-sweep trace-smoke sweep-smoke swexd-smoke fuzz-smoke
+.PHONY: all build test lint vet race check mc mc-smoke mc-por-smoke bench bench-sweep bench-memtier trace-smoke sweep-smoke swexd-smoke fuzz-smoke memtier-smoke
 
 all: build test
 
@@ -24,11 +24,12 @@ vet:
 # race exercises the only packages that touch goroutines (the engine, the
 # network model, the sweep orchestrator's worker pool, and the distributed
 # sweep service) under the race detector, plus the memory-model fuzzing
-# layer whose runs ride the sweep worker pool. The simulation core is
+# layer whose runs ride the sweep worker pool and the memory-tier models
+# that ride the mesh's server primitives. The simulation core is
 # single-threaded by contract, so the interesting schedules are in the
 # lockstep handoff, the pool merge, and the coordinator's lease machinery.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/mesh/... ./internal/sweep/... ./internal/swexd/... ./internal/litmus/...
+	$(GO) test -race ./internal/sim/... ./internal/mesh/... ./internal/memtier/... ./internal/sweep/... ./internal/swexd/... ./internal/litmus/...
 
 # mc exhausts the model checker's full-depth configurations over the
 # whole protocol spectrum, with sleep-set partial-order reduction on
@@ -114,6 +115,24 @@ fuzz-smoke:
 	  rm -rf $$d
 	$(GO) run ./cmd/swexfuzz -weakened >/dev/null
 
+# memtier-smoke exercises the memory-tier subsystem end to end: the model's
+# unit suite, the model checker's cross-family equivalence and
+# directoryless goldens, the litmus corpus under tiered timing with the
+# sequential-consistency oracle, and the machine-spectrum exhibit through
+# the CLI (all three families plus the directoryless machine in one sweep).
+memtier-smoke:
+	$(GO) test ./internal/memtier/ -count=1
+	$(GO) test ./internal/mc/ -run 'MemTier|Directoryless' -count=1
+	$(GO) test ./internal/litmus/ -run 'MemTier|WeakenedFixtureStillCaught' -count=1
+	$(GO) run ./cmd/swex -quick tiers >/dev/null
+
+# bench-memtier regenerates the committed memory-tier overhead baseline:
+# the directory memory-access hook when no tier is installed (must cost
+# ~nothing), each tier family's hot path, and the directoryless machine
+# against full-map on the same workload.
+bench-memtier:
+	$(GO) test -run '^$$' -bench 'MemTier|Directoryless' -benchtime 1x -benchmem . ./internal/memtier/ | $(GO) run ./cmd/swexbench -o BENCH_memtier.json
+
 # trace-smoke exercises the tracing pipeline end to end: a traced run must
 # export, export deterministically, and round-trip the profile view. The
 # per-package tests assert the details; this is the `make check` wiring.
@@ -122,4 +141,4 @@ trace-smoke:
 	$(GO) run ./cmd/swextrace -worker 4 -iters 2 -nodes 4 -protocol h2 -o /tmp/swextrace-smoke.json
 	$(GO) run ./cmd/swextrace profile -worker 4 -iters 2 -nodes 4 -protocol h2 >/dev/null
 
-check: vet lint test race mc-smoke mc-por-smoke trace-smoke sweep-smoke swexd-smoke fuzz-smoke
+check: vet lint test race mc-smoke mc-por-smoke trace-smoke sweep-smoke swexd-smoke fuzz-smoke memtier-smoke

@@ -7,7 +7,7 @@
 //	swex [-quick] <experiment> [<experiment>...]
 //	swex [-quick] all
 //
-// Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6
+// Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 scaling tiers
 // Ablations:   ablate-localbit ablate-software ablate-broadcast ablate-batch
 //
 // -quick runs reduced problem sizes (seconds instead of minutes) that
@@ -102,6 +102,13 @@ func experiments() []experiment {
 				return "", nil, err
 			}
 			return d.Figure().String(), d, nil
+		}},
+		{"tiers", "WORKER across memory-system families (flat, disaggregated, NVM, directoryless)", func(o swex.Options) (string, any, error) {
+			d, err := swex.Tiers(o)
+			if err != nil {
+				return "", nil, err
+			}
+			return d.Table().String(), d, nil
 		}},
 		{"ablate-localbit", "one-bit local pointer on/off", ablation("ablation: local bit disabled", swex.AblateLocalBit)},
 		{"ablate-software", "flexible C vs hand-tuned assembly handlers", ablation("ablation: hand-tuned assembly handlers", swex.AblateSoftware)},

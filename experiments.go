@@ -6,6 +6,7 @@ import (
 
 	"swex/internal/apps"
 	"swex/internal/machine"
+	"swex/internal/memtier"
 	"swex/internal/proto"
 	"swex/internal/report"
 	"swex/internal/sim"
@@ -742,6 +743,115 @@ func (d *ScalingData) Figure() *report.Figure {
 	return f
 }
 
+// ---------------------------------------------------------------- Tiers
+
+// TiersData holds WORKER run times across the machine-spectrum families
+// (flat, disaggregated, hybrid DRAM/NVM) for each protocol, normalized to
+// the flat machine's full-map time. This exhibit extends the paper's
+// protocol spectrum along the orthogonal memory-system axis: the same
+// software-extended directory spectrum, re-costed on machines the paper's
+// hardware could not build.
+type TiersData struct {
+	Families  []string
+	Protocols []string
+	// Ratio[family][protocol index] = run time / flat full-map run time.
+	Ratio map[string][]float64
+}
+
+// tiersFamilies returns the memory-system families the exhibit sweeps, in
+// column order, flat first (its full-map point is the normalization base).
+func tiersFamilies() []struct {
+	Name string
+	Cfg  memtier.Config
+} {
+	return []struct {
+		Name string
+		Cfg  memtier.Config
+	}{
+		{"flat", memtier.Config{}},
+		{"disaggregated", memtier.DefaultDisaggregated()},
+		{"nvm", memtier.DefaultTiered()},
+	}
+}
+
+// tiersSpecs returns the protocols the exhibit sweeps: the spectrum's
+// endpoints and middle, plus the directoryless shared-LLC machine — the
+// one protocol point that only exists on the memory-system axis (no
+// sharer tracking at all; every access is a direct home access).
+func tiersSpecs() []proto.Spec {
+	return []proto.Spec{
+		proto.FullMap(),
+		proto.OnePointer(proto.AckHW),
+		proto.LimitLESS(5),
+		proto.SoftwareOnly(),
+		proto.Directoryless(),
+	}
+}
+
+// tiersShape returns the WORKER size and iteration count.
+func tiersShape(o Options) (setSize, iters int) {
+	if o.Quick {
+		return 4, 4
+	}
+	return 8, 10
+}
+
+// TiersJobs enumerates the machine-spectrum sweep: for each memory-system
+// family, each protocol runs the same WORKER instance on 16 nodes.
+func TiersJobs(o Options) []sweep.Job {
+	setSize, iters := tiersShape(o)
+	var jobs []sweep.Job
+	for _, fam := range tiersFamilies() {
+		for _, spec := range tiersSpecs() {
+			jobs = append(jobs, sweep.WorkerJob(setSize, iters, machine.Config{
+				Nodes: 16, Spec: spec, MemTier: fam.Cfg,
+			}))
+		}
+	}
+	return jobs
+}
+
+// Tiers runs the WORKER machine-spectrum sweep.
+func Tiers(o Options) (*TiersData, error) {
+	families := tiersFamilies()
+	specs := tiersSpecs()
+	results, err := o.run(TiersJobs(o))
+	if err != nil {
+		return nil, fmt.Errorf("tiers: %w", err)
+	}
+	d := &TiersData{Ratio: make(map[string][]float64)}
+	for _, fam := range families {
+		d.Families = append(d.Families, fam.Name)
+	}
+	for _, s := range specs {
+		d.Protocols = append(d.Protocols, s.Name)
+	}
+	base := results[0] // flat full-map
+	for fi, fam := range families {
+		for si := range specs {
+			res := results[fi*len(specs)+si]
+			d.Ratio[fam.Name] = append(d.Ratio[fam.Name],
+				float64(res.Time)/float64(base.Time))
+		}
+	}
+	return d, nil
+}
+
+// Table renders the sweep as protocols × families, flat full-map = 1.00.
+func (d *TiersData) Table() *report.Table {
+	headers := append([]string{"Protocol"}, d.Families...)
+	t := report.NewTable("Machine spectrum: WORKER run time across memory-system families (16 nodes, flat full-map = 1.00)",
+		headers...)
+	for si, p := range d.Protocols {
+		row := []string{p}
+		for _, fam := range d.Families {
+			row = append(row, fmt.Sprintf("%.2f", d.Ratio[fam][si]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
 // ------------------------------------------------------ matrix registry
 
 // Matrix names one sweep-backed experiment: a job-matrix builder paired
@@ -764,7 +874,8 @@ type Matrix struct {
 }
 
 // Matrices returns every sweep-backed exhibit in paper order: the three
-// tables, Figures 2-6, and the scaling study.
+// tables, Figures 2-6, the scaling study, and the machine-spectrum
+// (memory-tier) study.
 func Matrices() []Matrix {
 	return []Matrix{
 		{"table1", "average software-extension latencies (C vs assembly)", Table1Jobs,
@@ -838,6 +949,14 @@ func Matrices() []Matrix {
 					return "", err
 				}
 				return d.Figure().String(), nil
+			}},
+		{"tiers", "WORKER across memory-system families (flat, disaggregated, NVM, directoryless)", TiersJobs,
+			func(o Options) (string, error) {
+				d, err := Tiers(o)
+				if err != nil {
+					return "", err
+				}
+				return d.Table().String(), nil
 			}},
 	}
 }

@@ -127,6 +127,7 @@ func DefaultConfig() *Config {
 			"swex/internal/ext",
 			"swex/internal/machine",
 			"swex/internal/mc",
+			"swex/internal/memtier",
 			"swex/internal/trace",
 			"swex/internal/sweep",
 			"swex/internal/litmus",
@@ -141,6 +142,7 @@ func DefaultConfig() *Config {
 			"swex/internal/lint",
 			"swex/internal/litmus",
 			"swex/internal/mc",
+			"swex/internal/memtier",
 			"swex/internal/sweep",
 			"swex/internal/swexd",
 			"swex/internal/trace",

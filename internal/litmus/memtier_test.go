@@ -1,0 +1,76 @@
+package litmus
+
+import (
+	"testing"
+
+	"swex/internal/machine"
+	"swex/internal/memtier"
+)
+
+// TestCorpusSequentiallyConsistentAcrossMemTiers runs the litmus corpus on
+// the memory-system families the machine-spectrum study sweeps and checks
+// the sequential-consistency oracle on every outcome. The tier models
+// stretch and queue the directory's memory accesses (and, under the
+// directoryless machine, every access), which shifts the interleavings the
+// programs observe — the oracle must still find a sequential order for all
+// of them. Programs whose per-variable overrides the base machine cannot
+// host are skipped (CompatibleBase), as in the fuzzing pipeline.
+func TestCorpusSequentiallyConsistentAcrossMemTiers(t *testing.T) {
+	cases := []struct {
+		name string
+		base string
+		tier memtier.Config
+	}{
+		{"full-disaggregated", "full", memtier.DefaultDisaggregated()},
+		{"full-nvm", "full", memtier.DefaultTiered()},
+		{"h1ack-disaggregated", "h1ack", memtier.DefaultDisaggregated()},
+		{"dls-flat", "dls", memtier.Config{}},
+		{"dls-disaggregated", "dls", memtier.DefaultDisaggregated()},
+		{"dls-nvm", "dls", memtier.DefaultTiered()},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			spec := mustSpec(t, tc.base)
+			ran := 0
+			for _, entry := range Corpus() {
+				if !CompatibleBase(entry.Prog, spec) {
+					continue
+				}
+				ran++
+				cfg := machine.DefaultConfig(4, spec)
+				cfg.MemTier = tc.tier
+				obs := execute(t, entry.Prog, cfg)
+				v, err := CheckSC(entry.Prog, obs)
+				if err != nil {
+					t.Fatalf("%s: %v", entry.Name, err)
+				}
+				if !v.OK {
+					t.Fatalf("%s is not sequentially consistent on %s: obs %v, witness %q",
+						entry.Name, tc.name, obs, v.Witness)
+				}
+			}
+			if ran == 0 {
+				t.Fatal("no corpus program is compatible with the base machine")
+			}
+		})
+	}
+}
+
+// TestWeakenedFixtureStillCaughtUnderDisaggregation is the negative
+// control on the memory-tier axis: the machine weakened to drop an
+// invalidation must still produce a non-SC outcome when its home memory
+// sits across a far tier — the added latency must not mask the lost
+// invalidation from the oracle.
+func TestWeakenedFixtureStillCaughtUnderDisaggregation(t *testing.T) {
+	p, cfg := WeakenedFixture(4)
+	cfg.MemTier = memtier.DefaultDisaggregated()
+	obs := execute(t, p, cfg)
+	v, err := CheckSC(p, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK {
+		t.Fatalf("weakened machine produced a sequentially consistent outcome under disaggregation: obs %v", obs)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"swex/internal/cache"
 	"swex/internal/ext"
 	"swex/internal/mem"
+	"swex/internal/memtier"
 	"swex/internal/mesh"
 	"swex/internal/proc"
 	"swex/internal/proto"
@@ -71,6 +72,12 @@ type Config struct {
 	CacheWays int
 	// Timing overrides hardware latencies (zero value = defaults).
 	Timing proto.Timing
+	// MemTier selects the memory system behind the home directories
+	// (internal/memtier): flat per-node DRAM (the zero value, the
+	// paper's machine), rack-scale disaggregated memory over a second
+	// interconnect tier, or hybrid DRAM/NVM with hot-block promotion.
+	// Orthogonal to Spec: any protocol runs over any memory system.
+	MemTier memtier.Config
 	// LoseInv, when positive, deliberately weakens the protocol: the
 	// N-th invalidation message the machine sends (counted machine-wide,
 	// 1-based) is silently dropped, and its acknowledgment is spoofed so
@@ -112,10 +119,7 @@ type Machine struct {
 
 // New builds a machine from a configuration.
 func New(cfg Config) (*Machine, error) {
-	if cfg.Nodes <= 0 {
-		return nil, fmt.Errorf("machine: %d nodes", cfg.Nodes)
-	}
-	if err := cfg.Spec.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	engine := sim.NewEngine()
@@ -158,6 +162,7 @@ func New(cfg Config) (*Machine, error) {
 	}
 	fabric.BatchReads = cfg.BatchReads
 	fabric.MigratoryDetect = cfg.MigratoryDetect
+	fabric.Tier = memtier.New(engine, cfg.Nodes, cfg.MemTier)
 	if cfg.LoseInv > 0 {
 		remaining := cfg.LoseInv
 		fabric.Fault = func(m proto.Msg) bool {

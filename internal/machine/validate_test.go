@@ -1,0 +1,73 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"swex/internal/memtier"
+	"swex/internal/proto"
+)
+
+func TestConfigValidate(t *testing.T) {
+	base := func(mut func(*Config)) Config {
+		cfg := DefaultConfig(4, proto.FullMap())
+		mut(&cfg)
+		return cfg
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		want error // nil = valid; matched with errors.Is
+	}{
+		{"default", base(func(*Config) {}), nil},
+		{"directoryless", base(func(c *Config) { c.Spec = proto.Directoryless() }), nil},
+		{"disaggregated", base(func(c *Config) { c.MemTier = memtier.DefaultDisaggregated() }), nil},
+		{"tiered", base(func(c *Config) { c.MemTier = memtier.DefaultTiered() }), nil},
+		{"zero-nodes", base(func(c *Config) { c.Nodes = 0 }), ErrNodes},
+		{"negative-nodes", base(func(c *Config) { c.Nodes = -4 }), ErrNodes},
+		{"negative-loseinv", base(func(c *Config) { c.LoseInv = -1 }), ErrLoseInv},
+		{"bad-tier-kind", base(func(c *Config) { c.MemTier.Kind = memtier.Kind(99) }), memtier.ErrKind},
+		{"zero-tier-latency", base(func(c *Config) {
+			c.MemTier = memtier.DefaultDisaggregated()
+			c.MemTier.Far.MemCycles = 0
+		}), memtier.ErrTierLatency},
+		{"zero-dram-capacity", base(func(c *Config) {
+			c.MemTier = memtier.DefaultTiered()
+			c.MemTier.DRAMBlocks = 0
+		}), memtier.ErrTierSize},
+		{"zero-promotion", base(func(c *Config) {
+			c.MemTier = memtier.DefaultTiered()
+			c.MemTier.PromoteAfter = 0
+		}), memtier.ErrPromotion},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want errors.Is(%v)", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateRejectsBadSpec(t *testing.T) {
+	cfg := DefaultConfig(4, proto.Spec{Name: "bad", Directoryless: true, HWPointers: 3})
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("directoryless spec with pointers validated")
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cfg := DefaultConfig(4, proto.FullMap())
+	cfg.MemTier = memtier.DefaultDisaggregated()
+	cfg.MemTier.Far.HopCycles = 0
+	if _, err := New(cfg); !errors.Is(err, memtier.ErrTierLatency) {
+		t.Fatalf("New() = %v, want errors.Is(ErrTierLatency)", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"swex/internal/mem"
+	"swex/internal/memtier"
 	"swex/internal/proto"
 )
 
@@ -144,6 +145,15 @@ type Config struct {
 	// (worlds are rebuilt constantly, so the filter must be per-world
 	// state). Used to seed protocol bugs the checker should catch.
 	Fault func() func(proto.Msg) bool
+	// MemTier installs a memory-hierarchy model (internal/memtier) behind
+	// the home directories of every explored world. Use zero-latency tier
+	// configurations (memtier.New builds them without validation): the
+	// checker's state fingerprints deliberately exclude simulated time, so
+	// a tier that advances the clock would fold timing-distinct states.
+	// What this checks is the protocol logic on the tier's access paths —
+	// the write-occupancy hooks and the directoryless direct-access path —
+	// not the tier's timing, which the deterministic simulator covers.
+	MemTier memtier.Config
 
 	// independence, when non-nil, replaces the POR independence relation
 	// over tracked-block indices (por.go, (*porCtx).independentBlocks).
@@ -321,6 +331,20 @@ func validate(cfg Config) error {
 			return fmt.Errorf("mc: duplicate action %s in alphabet", a)
 		}
 		seen[a] = true
+		if cfg.Spec.Directoryless && a != ActRead && a != ActWrite {
+			return fmt.Errorf("mc: action %s is meaningless under a directoryless spec (no cached copies to evict, direct, or watch)", a)
+		}
+	}
+	if cfg.Spec.Directoryless {
+		// Directoryless accesses from one node to same-home blocks share a
+		// per-(node, home) response FIFO, so same-home injections do not
+		// commute and the POR independence relation would be unsound.
+		if cfg.POR {
+			return fmt.Errorf("mc: POR is unsound under a directoryless spec (same-home direct accesses share a response FIFO and do not commute)")
+		}
+		if cfg.Watch {
+			return fmt.Errorf("mc: ActWatch under a directoryless spec polls forever in frozen time; use the direct read/write alphabet")
+		}
 	}
 	if cfg.Actions != nil && len(cfg.Actions) == 0 {
 		return fmt.Errorf("mc: empty action alphabet")
@@ -351,6 +375,12 @@ func (cfg Config) alphabet() []Action {
 	}
 	for a := ActRead; a < numActions; a++ {
 		if a == ActWatch && !cfg.Watch {
+			continue
+		}
+		// A directoryless machine caches nothing, so only the direct
+		// read/write actions can change state (validate rejects the rest
+		// when named explicitly).
+		if cfg.Spec.Directoryless && a != ActRead && a != ActWrite {
 			continue
 		}
 		acts = append(acts, a)

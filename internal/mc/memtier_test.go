@@ -1,0 +1,185 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+
+	"swex/internal/memtier"
+	"swex/internal/proto"
+)
+
+// Zero-latency tier configurations for exploration: memtier.New builds
+// them without validation, and at zero latency the tier is behaviorally
+// invisible (time stays frozen), so every exploration with a tier
+// installed must reproduce the flat machine's counts exactly. That is the
+// property these tests pin: the tier hooks sit on the directory's memory
+// paths without perturbing the protocol's transition system.
+func zeroDisaggregated() memtier.Config {
+	return memtier.Config{Kind: memtier.KindDisaggregated}
+}
+
+func zeroTiered() memtier.Config {
+	return memtier.Config{Kind: memtier.KindTiered, DRAMBlocks: 1, PromoteAfter: 1}
+}
+
+// families enumerates the memory-system families under test, flat first.
+func families() []struct {
+	name string
+	tier memtier.Config
+} {
+	return []struct {
+		name string
+		tier memtier.Config
+	}{
+		{"flat", memtier.Config{}},
+		{"disaggregated", zeroDisaggregated()},
+		{"tiered", zeroTiered()},
+	}
+}
+
+// TestMemTierFrozenTimeEquivalence exhausts a 2-node, 2-block full-map
+// machine under every memory-system family and requires identical
+// exploration counts: a zero-latency tier must not add, remove, or reorder
+// reachable states even though every directory-side access now routes
+// through memtier.Model.Access.
+func TestMemTierFrozenTimeEquivalence(t *testing.T) {
+	var base *Result
+	for _, fam := range families() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			cfg := Config{Spec: proto.FullMap(), Nodes: 2, Blocks: 2, MaxOps: 3,
+				MemTier: fam.tier}
+			res, err := Check(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation != nil {
+				text, _ := Explain(cfg, res.Violation)
+				t.Fatalf("invariant violated: %s\n%s", res.Violation, text)
+			}
+			if res.Bounded {
+				t.Fatalf("state space not exhausted at %d states", res.States)
+			}
+			if base == nil {
+				base = res
+				t.Logf("baseline: %d states, %d transitions, depth %d, %d quiescent",
+					res.States, res.Transitions, res.MaxDepth, res.Quiescent)
+				return
+			}
+			if res.States != base.States || res.Transitions != base.Transitions ||
+				res.MaxDepth != base.MaxDepth || res.Quiescent != base.Quiescent {
+				t.Fatalf("family %s diverged from flat: got %d states, %d transitions, depth %d, %d quiescent; want %d, %d, %d, %d",
+					fam.name, res.States, res.Transitions, res.MaxDepth, res.Quiescent,
+					base.States, base.Transitions, base.MaxDepth, base.Quiescent)
+			}
+		})
+	}
+}
+
+// TestMemTierSoftwareSmoke runs the software-heavy end of the spectrum
+// (every read traps) over the tier families: the software trap chains
+// stack extra events on the same directory memory paths the tier hooks
+// occupy, so this is the deepest interleaving the hooks see under
+// exploration.
+func TestMemTierSoftwareSmoke(t *testing.T) {
+	var base *Result
+	for _, fam := range families() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			cfg := Config{Spec: proto.Spectrum()[0], Nodes: 2, Blocks: 2, MaxOps: 2,
+				MemTier: fam.tier}
+			res, err := Check(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation != nil {
+				text, _ := Explain(cfg, res.Violation)
+				t.Fatalf("invariant violated: %s\n%s", res.Violation, text)
+			}
+			if res.Bounded {
+				t.Fatalf("state space not exhausted at %d states", res.States)
+			}
+			if base == nil {
+				base = res
+				return
+			}
+			if res.States != base.States || res.Transitions != base.Transitions {
+				t.Fatalf("family %s diverged from flat: got %d states, %d transitions; want %d, %d",
+					fam.name, res.States, res.Transitions, base.States, base.Transitions)
+			}
+		})
+	}
+}
+
+// TestDirectorylessSmoke exhausts the directoryless machine at 2 nodes and
+// 2 blocks under every memory-system family. The alphabet collapses to
+// direct reads and writes (nothing is ever cached), so the interesting
+// state is the per-(node, home) response FIFOs and home memory — exactly
+// what the appended snapshot encodings capture. The golden pins the
+// exploration; the cross-family equality pins the zero-latency-invisible
+// property on the direct-access path, whose reply is delayed by the tier.
+func TestDirectorylessSmoke(t *testing.T) {
+	golden := Result{States: 17280, Transitions: 23072, MaxDepth: 12, Quiescent: 24}
+	for _, fam := range families() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			cfg := Config{Spec: proto.Directoryless(), Nodes: 2, Blocks: 2, MaxOps: 3,
+				MemTier: fam.tier}
+			res, err := Check(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation != nil {
+				text, _ := Explain(cfg, res.Violation)
+				t.Fatalf("invariant violated: %s\n%s", res.Violation, text)
+			}
+			if res.Bounded {
+				t.Fatalf("state space not exhausted at %d states", res.States)
+			}
+			if res.States != golden.States || res.Transitions != golden.Transitions ||
+				res.MaxDepth != golden.MaxDepth || res.Quiescent != golden.Quiescent {
+				t.Fatalf("got %d states, %d transitions, depth %d, %d quiescent; want %d, %d, %d, %d",
+					res.States, res.Transitions, res.MaxDepth, res.Quiescent,
+					golden.States, golden.Transitions, golden.MaxDepth, golden.Quiescent)
+			}
+		})
+	}
+}
+
+// TestDirectorylessAlphabet checks that the resolved alphabet for a
+// directoryless machine is exactly {read, write}.
+func TestDirectorylessAlphabet(t *testing.T) {
+	cfg := Config{Spec: proto.Directoryless(), Nodes: 2, Blocks: 1, MaxOps: 1}
+	acts := cfg.alphabet()
+	if len(acts) != 2 || acts[0] != ActRead || acts[1] != ActWrite {
+		t.Fatalf("directoryless alphabet = %v, want [read write]", acts)
+	}
+}
+
+// TestDirectorylessRejections checks that configurations the directoryless
+// machine cannot soundly explore are rejected up front: cached-copy
+// actions named explicitly, the watch alphabet (an unbounded poll loop in
+// frozen time), and POR (same-home direct accesses share a response FIFO
+// and do not commute).
+func TestDirectorylessRejections(t *testing.T) {
+	base := Config{Spec: proto.Directoryless(), Nodes: 2, Blocks: 1, MaxOps: 1}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"explicit-evict", func(c *Config) { c.Actions = []Action{ActRead, ActEvict} }, "meaningless"},
+		{"watch", func(c *Config) { c.Watch = true }, "polls forever"},
+		{"por", func(c *Config) { c.POR = true }, "unsound"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mut(&cfg)
+			_, err := Check(cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Check() error = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}

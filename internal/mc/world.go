@@ -5,6 +5,7 @@ import (
 
 	"swex/internal/cache"
 	"swex/internal/mem"
+	"swex/internal/memtier"
 	"swex/internal/mesh"
 	"swex/internal/proto"
 	"swex/internal/sim"
@@ -56,6 +57,7 @@ func newWorld(cfg Config) (*world, error) {
 	}
 	f.MigratoryDetect = cfg.MigratoryDetect
 	f.BatchReads = cfg.BatchReads
+	f.Tier = memtier.New(engine, cfg.Nodes, cfg.MemTier)
 	if cfg.Fault != nil {
 		f.Fault = cfg.Fault()
 	}

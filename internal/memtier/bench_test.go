@@ -1,0 +1,34 @@
+package memtier
+
+import (
+	"testing"
+
+	"swex/internal/mem"
+	"swex/internal/sim"
+)
+
+// The per-access micro-benchmarks: what one directory-side Access costs in
+// host time for each family. These are the sites the protocol fabric hits
+// for every fill, writeback, and direct access, so they must stay
+// allocation-free in steady state (-benchmem is the proof; the tiered
+// model's maps only grow while new blocks earn promotion).
+
+func benchAccess(b *testing.B, cfg Config) {
+	b.Helper()
+	m := New(sim.NewEngine(), 4, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Access(mem.NodeID(i%4), mem.Block(i%256), i%4 == 0)
+	}
+	if m.Stats.Accesses != uint64(b.N) {
+		b.Fatalf("accounted %d accesses, ran %d", m.Stats.Accesses, b.N)
+	}
+}
+
+func BenchmarkMemTierAccessDisaggregated(b *testing.B) {
+	benchAccess(b, DefaultDisaggregated())
+}
+
+func BenchmarkMemTierAccessTiered(b *testing.B) {
+	benchAccess(b, DefaultTiered())
+}

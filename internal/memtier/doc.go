@@ -1,0 +1,25 @@
+// Package memtier models the memory hierarchy behind a node's directory:
+// what it costs, at a given cycle, for the home to read or write a block's
+// backing store. The protocol engine consults it on every directory-side
+// memory access, which makes the memory system a scenario axis orthogonal
+// to the protocol spectrum the paper evaluates.
+//
+// Three memory-system kinds are modeled:
+//
+//   - KindFlat: the paper's machine — per-node DRAM at a fixed latency
+//     (proto.Timing.MemLatency). A flat model is the package's zero value
+//     and costs the simulator nothing: the fabric holds a nil *Model and
+//     pays one branch per access.
+//   - KindDisaggregated: home blocks live in rack-scale far memory
+//     reached over a second interconnect tier (mesh.TierLink) with its
+//     own hop latency, serialization bandwidth cap, and FIFO queueing —
+//     the DRackSim-style machine.
+//   - KindTiered: hybrid DRAM/NVM behind the directory with asymmetric
+//     read/write latencies and a deterministic, cycle-driven hot-block
+//     promotion policy: a block's Nth touch promotes it into a bounded
+//     per-home DRAM set, evicting the oldest resident in promotion order.
+//
+// Every model is deterministic: the same access sequence at the same
+// cycles yields the same latencies, so simulations stay byte-reproducible
+// and cacheable by the sweep layer.
+package memtier

@@ -87,6 +87,13 @@ type CacheCtl struct {
 	txns     map[mem.Block]*txn
 	watchers map[mem.Block][]watcher
 
+	// direct holds the outstanding directoryless (DLS) accesses per home,
+	// in issue order. Matching needs no sequence numbers: requests to one
+	// home are served FIFO by its hardware pipeline and both directions
+	// of the network deliver per-destination in send order, so the head
+	// of the queue is always the access the next DRESP answers.
+	direct map[mem.NodeID][]Op
+
 	// Retries counts BUSY-induced retransmissions.
 	Retries uint64
 	// IfetchStall accumulates cycles lost to instruction fills.
@@ -101,6 +108,7 @@ func newCacheCtl(f *Fabric, node mem.NodeID, cfg CacheConfig) *CacheCtl {
 		cfg:      cfg,
 		txns:     make(map[mem.Block]*txn),
 		watchers: make(map[mem.Block][]watcher),
+		direct:   make(map[mem.NodeID][]Op),
 	}
 }
 
@@ -121,6 +129,10 @@ func (cc *CacheCtl) Access(a mem.Addr, op Op) { cc.access(a, op, false) }
 
 // access is Access plus the watch-waiter marker (see pendingOp.watch).
 func (cc *CacheCtl) access(a mem.Addr, op Op, watch bool) {
+	if cc.f.Spec.Directoryless {
+		cc.dlsAccess(a, op)
+		return
+	}
 	b := mem.BlockOf(a)
 	off := int(a - b.Base())
 	if line, ok := cc.c.Lookup(b, false); ok {
@@ -220,8 +232,14 @@ func (cc *CacheCtl) Ifetch(pc mem.Addr, done func()) {
 // modifying it — the CICO "check-out" directive. A thread that checks a
 // block out before its read-modify-write sequence pays one transaction
 // instead of a read recall followed by an upgrade. Done fires when
-// ownership is local.
+// ownership is local. On a directoryless machine there is no ownership
+// to acquire (every access goes to the home), so the directive is a
+// free no-op, exactly like CheckIn against an absent copy.
 func (cc *CacheCtl) CheckOut(a mem.Addr, done func()) {
+	if cc.f.Spec.Directoryless {
+		done()
+		return
+	}
 	b := mem.BlockOf(a)
 	if line, ok := cc.c.Lookup(b, false); ok && line.State == cache.Exclusive {
 		done()
@@ -301,6 +319,10 @@ func (cc *CacheCtl) Evict(b mem.Block) bool {
 // the coherence traffic of a real spin loop (re-fetch after each
 // invalidation) is modeled without simulating every spin iteration.
 func (cc *CacheCtl) Watch(a mem.Addr, old uint64, done func(v uint64)) {
+	if cc.f.Spec.Directoryless {
+		cc.dlsWatch(a, old, done)
+		return
+	}
 	cc.access(a, Op{Done: func(v uint64) {
 		if v != old {
 			done(v)
@@ -309,6 +331,62 @@ func (cc *CacheCtl) Watch(a mem.Addr, old uint64, done func(v uint64)) {
 		b := mem.BlockOf(a)
 		cc.watchers[b] = append(cc.watchers[b], watcher{a, old, done})
 	}}, true)
+}
+
+// dlsWatch is the spin-wait primitive on a directoryless machine. With no
+// private copy there is no invalidation to park on: the loop re-reads the
+// word through the home after a fixed back-off, which is exactly what a
+// real spin loop over uncached memory does. The back-off keeps the poll
+// traffic bounded and the schedule deterministic.
+func (cc *CacheCtl) dlsWatch(a mem.Addr, old uint64, done func(v uint64)) {
+	cc.dlsPoll(&watchTag{node: cc.node, a: a, old: old, b: mem.BlockOf(a)}, done)
+}
+
+// dlsPoll issues one read of a watched word and re-arms itself through the
+// back-off event until the value moves. The tag is allocated once per
+// watch and reused for every poll.
+func (cc *CacheCtl) dlsPoll(t *watchTag, done func(v uint64)) {
+	cc.dlsAccess(t.a, Op{Done: func(v uint64) {
+		if v != t.old {
+			done(v)
+			return
+		}
+		delay := cc.f.Timing.RetryDelay
+		if delay == 0 {
+			delay = 1
+		}
+		cc.f.Engine.AfterTagged(delay, t, func() { cc.dlsPoll(t, done) })
+	}})
+}
+
+// dlsAccess issues one directoryless access: the operation rides a DREQ
+// to the home, which applies it to the shared-LLC slice in place and
+// answers with the word. The op parks on the per-home FIFO until its
+// DRESP arrives.
+func (cc *CacheCtl) dlsAccess(a mem.Addr, op Op) {
+	b := mem.BlockOf(a)
+	home := mem.HomeOfBlock(b)
+	cc.direct[home] = append(cc.direct[home], op)
+	m := Msg{Kind: MsgDREQ, Src: cc.node, Dst: home, Block: b,
+		Off: int(a - b.Base()), DWrite: op.Write, RMW: op.RMW}
+	m.Words[0] = op.Value
+	cc.f.Send(m)
+}
+
+// onDResp completes the oldest outstanding direct access to the replying
+// home (see the direct field for why head-of-queue matching is sound).
+func (cc *CacheCtl) onDResp(m Msg) {
+	q := cc.direct[m.Src]
+	if len(q) == 0 {
+		// Static message: the deterministic engine makes the failing cycle
+		// reproducible, and a Sprintf here would sit on the access hot path.
+		panic("proto: DRESP with no outstanding direct access")
+	}
+	op := q[0]
+	copy(q, q[1:])
+	q[len(q)-1] = Op{}
+	cc.direct[m.Src] = q[:len(q)-1]
+	op.Done(m.Words[0])
 }
 
 // wakeWatchers re-arms every watcher on block b.
@@ -380,6 +458,8 @@ func (cc *CacheCtl) Deliver(m Msg) {
 		cc.onBusy(m)
 	case MsgINV:
 		cc.onInv(m)
+	case MsgDRESP:
+		cc.onDResp(m)
 	default:
 		panic(fmt.Sprintf("proto: cache received %s", m.Kind))
 	}
@@ -484,6 +564,16 @@ func (cc *CacheCtl) onInv(m Msg) {
 
 // OutstandingTxns reports in-flight miss transactions (testing aid).
 func (cc *CacheCtl) OutstandingTxns() int { return len(cc.txns) }
+
+// OutstandingDirect reports in-flight directoryless accesses. The
+// quiescence checker counts them alongside miss transactions.
+func (cc *CacheCtl) OutstandingDirect() int {
+	n := 0
+	for i := 0; i < cc.f.Nodes(); i++ {
+		n += len(cc.direct[mem.NodeID(i)])
+	}
+	return n
+}
 
 // HasTxn reports whether a miss transaction is outstanding for block b.
 // The software-only directory's home controller consults it: a local fill

@@ -57,6 +57,10 @@ type HomeCtl struct {
 	// hardware processing (see procTag.Fire).
 	jobPool []*procTag
 
+	// trapPool recycles the trapTag carriers that schedule software
+	// handler completions (see traptag.go).
+	trapPool []*trapTag
+
 	// Invalidation-target scratch state: invTargets collects each
 	// transaction's target set into a pooled slice (invPool) instead of
 	// a fresh allocation, deduplicating through a generation-stamped
@@ -160,11 +164,22 @@ func (h *HomeCtl) Configure(b mem.Block, s Spec) error {
 		return fmt.Errorf("proto: block override %s is not expressible by the machine's %s software",
 			s.Name, h.f.Spec.Name)
 	}
+	if s.Directoryless != h.f.Spec.Directoryless {
+		// Directoryless is a machine property (the cache side routes
+		// every access directly), not a per-block protocol choice.
+		return fmt.Errorf("proto: block override %s cannot change the machine's directoryless mode", s.Name)
+	}
 	h.overrides[b] = s
 	return nil
 }
 
 func (h *HomeCtl) process(m Msg) {
+	if m.Kind == MsgDREQ {
+		// Dispatched before entry(): a directoryless access must never
+		// materialize a directory entry — there is no directory.
+		h.onDirect(m)
+		return
+	}
 	e := h.entry(m.Block)
 	switch m.Kind {
 	case MsgRREQ:
@@ -193,15 +208,60 @@ func (h *HomeCtl) busy(m Msg) {
 	h.f.Send(Msg{Kind: MsgBUSY, Src: h.node, Dst: m.Src, Block: m.Block})
 }
 
-// sendData transmits a data reply (RDATA or WDATA). The DRAM access time
-// is folded into the message's source-side delay so the reply keeps its
-// place in the per-destination delivery order: an invalidation issued
-// after this reply must not overtake it.
+// memAccess charges one directory-side memory access for block b and
+// returns its latency. On the flat machine that is the fixed DRAM
+// latency; with a memory-hierarchy model installed (Fabric.Tier) the
+// model prices the access — far-tier round trip or DRAM/NVM device time
+// — and occupies the home's link or channel, so concurrent accesses
+// queue behind each other.
+func (h *HomeCtl) memAccess(b mem.Block, write bool) sim.Cycle {
+	if h.f.Tier == nil {
+		return h.f.Timing.MemLatency
+	}
+	lat := h.f.Tier.Access(h.node, b, write)
+	if h.f.Sink != nil {
+		now := h.f.Engine.Now()
+		h.f.Sink.Emit(trace.Event{
+			Start: now, End: now + lat,
+			Arg:  int64(b),
+			Node: int32(h.node), Peer: -1,
+			Cat: trace.CatMemTier, Op: trace.OpTierAccess, Name: "tier-access",
+		})
+	}
+	return lat
+}
+
+// sendData transmits a data reply (RDATA or WDATA). The memory access
+// time is folded into the message's source-side delay so the reply keeps
+// its place in the per-destination delivery order: an invalidation
+// issued after this reply must not overtake it.
 func (h *HomeCtl) sendData(kind MsgKind, dst mem.NodeID, b mem.Block) {
 	h.f.SendDelayed(Msg{
 		Kind: kind, Src: h.node, Dst: dst, Block: b,
 		Words: h.f.Mem.ReadBlock(b),
-	}, h.f.Timing.MemLatency+h.f.Timing.CacheFill)
+	}, h.memAccess(b, false)+h.f.Timing.CacheFill)
+}
+
+// onDirect services a directoryless (DLS) access: the home reads,
+// writes, or atomically transforms the word in its shared-LLC slice and
+// replies with it. No directory entry is ever created and no sharer is
+// tracked — with a single serialized copy per word there is nothing to
+// track. The reply carries the old value for reads and read-modify-
+// writes and the stored value for plain writes, matching Op.Done.
+func (h *HomeCtl) onDirect(m Msg) {
+	a := m.Block.Base() + mem.Addr(m.Off)
+	old := h.f.Mem.Read(a)
+	v := old
+	switch {
+	case m.RMW != nil:
+		h.f.Mem.Write(a, m.RMW(old))
+	case m.DWrite:
+		h.f.Mem.Write(a, m.Words[0])
+		v = m.Words[0]
+	}
+	reply := Msg{Kind: MsgDRESP, Src: h.node, Dst: m.Src, Block: m.Block, Off: m.Off}
+	reply.Words[0] = v
+	h.f.SendDelayed(reply, h.memAccess(m.Block, m.DWrite || m.RMW != nil))
 }
 
 // trap schedules a software handler of the given cost and runs then at its
@@ -210,17 +270,19 @@ func (h *HomeCtl) sendData(kind MsgKind, dst mem.NodeID, b mem.Block) {
 // pending-event inspection: it must distinguish handlers whose completion
 // closures behave differently, because the model checker treats two
 // machines with identical observable state and identical pending-event
-// tags as the same state. The block, requester, and name identify the
-// handler for the trace (r's open transaction owns the handler span).
-func (h *HomeCtl) trap(tag string, b mem.Block, r mem.NodeID, name string, cost sim.Cycle, then func()) sim.Cycle {
+// tags as the same state. The tag's block and requester plus the name
+// identify the handler for the trace (r's open transaction owns the
+// handler span).
+func (h *HomeCtl) trap(t *trapTag, name string, cost sim.Cycle, then func()) sim.Cycle {
 	h.Traps++
 	h.f.Counters.Inc("home.traps")
 	h.f.traceTrap(int(h.node), "handler", cost)
 	done := h.f.Traps.Schedule(h.node, cost)
 	if h.f.Sink != nil {
-		h.f.emitHandler(h.node, b, r, name, cost, done)
+		h.f.emitHandler(h.node, t.b, t.r, name, cost, done)
 	}
-	h.f.Engine.AtTagged(done, blockTag{label: tag, b: b}, then)
+	t.then = then
+	h.f.Engine.AtCall(done, t, t)
 	return done
 }
 
@@ -344,8 +406,7 @@ func (h *HomeCtl) swRead(b mem.Block, e *dir.Entry, r mem.NodeID, drained []mem.
 	}
 	if first {
 		cost := h.f.Soft.ReadOverflow(b, drained, r)
-		done := h.trap(fmt.Sprintf("trap:read:%d:blk%d:r%d", h.node, b, r),
-			b, r, "read-overflow", cost, finish)
+		done := h.trap(h.grabTrap(trapRead, b, r), "read-overflow", cost, finish)
 		// Requests arriving while the original handler is still queued
 		// or running are part of the burst it drains inline; anything
 		// later retries. This absorbs the all-nodes-read-at-once bursts
@@ -367,8 +428,9 @@ func (h *HomeCtl) swRead(b mem.Block, e *dir.Entry, r mem.NodeID, drained []mem.
 	if h.f.Sink != nil {
 		h.f.emitHandler(h.node, b, r, "read-batched", cost, h.chainEnd[b])
 	}
-	h.f.Engine.AtTagged(h.chainEnd[b],
-		blockTag{label: fmt.Sprintf("trap:readbatch:%d:blk%d:r%d", h.node, b, r), b: b}, finish)
+	t := h.grabTrap(trapReadBatch, b, r)
+	t.then = finish
+	h.f.Engine.AtCall(h.chainEnd[b], t, t)
 }
 
 // h0Read services a read under the software-only directory.
@@ -517,36 +579,37 @@ func (h *HomeCtl) swWriteFault(b mem.Block, e *dir.Entry, r mem.NodeID) {
 	targets := h.invTargets(b, e, r, spec.Broadcast && e.BroadcastBit)
 	e.State = dir.SWait
 	cost := h.f.Soft.WriteFault(b, r, len(targets))
-	h.trap(fmt.Sprintf("trap:wfault:%d:blk%d:r%d:t%v", h.node, b, r, targets),
-		b, r, "write-fault", cost, func() {
-			e.Epoch++
-			e.AckCount = len(targets)
-			e.Req = r
-			e.ReqWrite = true
-			e.Ptrs.Clear()
-			e.LocalBit = false
-			e.SwExt = false
-			e.SwCount = 0
-			e.BroadcastBit = false
-			h.swTxn[b] = true
-			if len(targets) == 0 {
-				h.releaseInv(targets)
-				h.grantWrite(b, e, r)
-				return
-			}
-			for _, t := range targets {
-				h.f.Send(Msg{Kind: MsgINV, Src: h.node, Dst: t, Block: b, Epoch: e.Epoch})
-			}
-			h.f.Counters.Addc("home.sw_invalidations", uint64(len(targets)))
+	t := h.grabTrap(trapWFault, b, r)
+	t.targets = targets
+	h.trap(t, "write-fault", cost, func() {
+		e.Epoch++
+		e.AckCount = len(targets)
+		e.Req = r
+		e.ReqWrite = true
+		e.Ptrs.Clear()
+		e.LocalBit = false
+		e.SwExt = false
+		e.SwCount = 0
+		e.BroadcastBit = false
+		h.swTxn[b] = true
+		if len(targets) == 0 {
 			h.releaseInv(targets)
-			if spec.AckMode == AckSW {
-				// Software fields every acknowledgment: the block stays
-				// under software control.
-				e.State = dir.SWait
-			} else {
-				e.State = dir.AckWait
-			}
-		})
+			h.grantWrite(b, e, r)
+			return
+		}
+		for _, t := range targets {
+			h.f.Send(Msg{Kind: MsgINV, Src: h.node, Dst: t, Block: b, Epoch: e.Epoch})
+		}
+		h.f.Counters.Addc("home.sw_invalidations", uint64(len(targets)))
+		h.releaseInv(targets)
+		if spec.AckMode == AckSW {
+			// Software fields every acknowledgment: the block stays
+			// under software control.
+			e.State = dir.SWait
+		} else {
+			e.State = dir.AckWait
+		}
+	})
 }
 
 // invTargets collects the nodes holding copies that must be invalidated
@@ -681,8 +744,7 @@ func (h *HomeCtl) countAck(b mem.Block, e *dir.Entry) {
 		// transmits the data to the requester.
 		e.State = dir.SWait
 		cost := h.f.Soft.LastAckTrap(b)
-		h.trap(fmt.Sprintf("trap:lack:%d:blk%d", h.node, b),
-			b, e.Req, "last-ack", cost,
+		h.trap(h.grabTrap(trapLACK, b, e.Req), "last-ack", cost,
 			func() { h.grantWrite(b, e, e.Req) })
 		return
 	}
@@ -696,12 +758,13 @@ func (h *HomeCtl) swAck(b mem.Block, e *dir.Entry) {
 	e.AckCount--
 	last := e.AckCount == 0
 	cost := h.f.Soft.AckTrap(b, last)
-	h.trap(fmt.Sprintf("trap:ack:%d:blk%d:last=%v", h.node, b, last),
-		b, e.Req, "ack", cost, func() {
-			if last {
-				h.grantWrite(b, e, e.Req)
-			}
-		})
+	t := h.grabTrap(trapAck, b, e.Req)
+	t.last = last
+	h.trap(t, "ack", cost, func() {
+		if last {
+			h.grantWrite(b, e, e.Req)
+		}
+	})
 }
 
 func (h *HomeCtl) onUpdate(m Msg, e *dir.Entry) {
@@ -711,6 +774,9 @@ func (h *HomeCtl) onUpdate(m Msg, e *dir.Entry) {
 	}
 	h.migRecallDirty(m.Block)
 	h.f.Mem.WriteBlock(m.Block, m.Words)
+	// The dirty data lands in memory: occupy the memory channel even
+	// though the staged requester does not wait on the write itself.
+	h.memAccess(m.Block, true)
 	h.completeRecall(m.Block, e)
 }
 
@@ -738,6 +804,7 @@ func (h *HomeCtl) onWB(m Msg, e *dir.Entry) {
 			return // stale
 		}
 		h.f.Mem.WriteBlock(m.Block, m.Words)
+		h.memAccess(m.Block, true)
 		e.State = dir.Uncached
 		e.Owner = 0
 	case dir.Recall:
@@ -747,6 +814,7 @@ func (h *HomeCtl) onWB(m Msg, e *dir.Entry) {
 		// The writeback crossed our invalidation; it carries the data
 		// the recall wanted.
 		h.f.Mem.WriteBlock(m.Block, m.Words)
+		h.memAccess(m.Block, true)
 		h.completeRecall(m.Block, e)
 	case dir.Uncached, dir.Shared, dir.AckWait, dir.SWait:
 		// Stale writeback from a closed transaction: drop.

@@ -36,11 +36,20 @@ const (
 	// shared memory work, paper Sections 1 and 7) tells the home to
 	// retire the sender's pointer so later writes invalidate less.
 	MsgREL
+	// MsgDREQ is a directoryless (DLS) direct access: the home applies
+	// the read, write, or read-modify-write to its shared-LLC slice in
+	// place — no copy is granted, no sharer is tracked. Appended after
+	// MsgREL so existing message-kind encodings keep their values.
+	MsgDREQ
+	// MsgDRESP is the home's reply to a MsgDREQ, carrying the accessed
+	// word back to the requester.
+	MsgDRESP
 	numMsgKinds
 )
 
 var msgNames = [numMsgKinds]string{
 	"RREQ", "WREQ", "RDATA", "WDATA", "INV", "ACK", "UPDATE", "BUSY", "WB", "REL",
+	"DREQ", "DRESP",
 }
 
 func (k MsgKind) String() string {
@@ -59,7 +68,7 @@ func (k MsgKind) CarriesEpoch() bool {
 	switch k {
 	case MsgINV, MsgACK, MsgUPDATE:
 		return true
-	case MsgRREQ, MsgWREQ, MsgRDATA, MsgWDATA, MsgBUSY, MsgWB, MsgREL:
+	case MsgRREQ, MsgWREQ, MsgRDATA, MsgWDATA, MsgBUSY, MsgWB, MsgREL, MsgDREQ, MsgDRESP:
 		return false
 	default:
 		panic(fmt.Sprintf("proto: unknown message kind %d", int(k)))
@@ -67,11 +76,13 @@ func (k MsgKind) CarriesEpoch() bool {
 }
 
 // CarriesData reports whether the message includes the block contents.
+// DREQ and DRESP move a single word through Words[0], not a block, and
+// encode it themselves in the snapshot layer.
 func (k MsgKind) CarriesData() bool {
 	switch k {
 	case MsgRDATA, MsgWDATA, MsgUPDATE, MsgWB:
 		return true
-	case MsgRREQ, MsgWREQ, MsgINV, MsgACK, MsgBUSY, MsgREL:
+	case MsgRREQ, MsgWREQ, MsgINV, MsgACK, MsgBUSY, MsgREL, MsgDREQ, MsgDRESP:
 		return false
 	default:
 		panic(fmt.Sprintf("proto: unknown message kind %d", int(k)))
@@ -82,9 +93,9 @@ func (k MsgKind) CarriesData() bool {
 // controller (as opposed to the cache side).
 func (k MsgKind) ToHome() bool {
 	switch k {
-	case MsgRREQ, MsgWREQ, MsgACK, MsgUPDATE, MsgWB, MsgREL:
+	case MsgRREQ, MsgWREQ, MsgACK, MsgUPDATE, MsgWB, MsgREL, MsgDREQ:
 		return true
-	case MsgRDATA, MsgWDATA, MsgINV, MsgBUSY:
+	case MsgRDATA, MsgWDATA, MsgINV, MsgBUSY, MsgDRESP:
 		return false
 	default:
 		panic(fmt.Sprintf("proto: unknown message kind %d", int(k)))
@@ -104,6 +115,17 @@ type Msg struct {
 	// acknowledgments that belong to a completed transaction (the
 	// writeback/invalidate crossing race).
 	Epoch uint32
+	// Off is the word offset within Block of a direct (DREQ) access.
+	Off int
+	// DWrite marks a direct access as a write; Words[0] carries the
+	// value out and the accessed word back (DRESP).
+	DWrite bool
+	// RMW, when set on a DREQ, is applied atomically at the home: the
+	// word is read, transformed, and written in place; the reply carries
+	// the old value. Function-valued, so Msg must never be compared or
+	// used as a map key — the in-flight registry and snapshot layers
+	// never do.
+	RMW func(uint64) uint64
 }
 
 func (m Msg) String() string {

@@ -105,6 +105,21 @@ func (f *Fabric) snapNode(buf *bytes.Buffer, id mem.NodeID, blocks []mem.Block) 
 			fmt.Fprintf(buf, "] ")
 		}
 	}
+	// Outstanding directoryless accesses, per home in node order. An op's
+	// queue position determines which DRESP completes it, so the queues
+	// are state. Encoded only when non-empty, so directoryful histories
+	// keep their existing bytes.
+	for hid := 0; hid < f.Nodes(); hid++ {
+		q := cc.direct[mem.NodeID(hid)]
+		if len(q) == 0 {
+			continue
+		}
+		fmt.Fprintf(buf, "d%d=[", hid)
+		for _, op := range q {
+			fmt.Fprintf(buf, "(%v %d %v)", op.Write, op.Value, op.RMW != nil)
+		}
+		fmt.Fprintf(buf, "] ")
+	}
 	fmt.Fprintf(buf, "}")
 }
 
@@ -137,6 +152,12 @@ func (f *Fabric) snapPending(buf *bytes.Buffer) {
 			fmt.Fprintf(buf, ";")
 		case *retryTag:
 			fmt.Fprintf(buf, "retry:%d:blk%d:live=%v;", tag.cc.node, tag.b, tag.live())
+		case *trapTag:
+			// Renders the same bytes the handler's eager label used to
+			// carry, so fingerprints of existing histories are unchanged.
+			fmt.Fprintf(buf, "%s;", tag.label())
+		case *watchTag:
+			fmt.Fprintf(buf, "%s;", tag.label())
 		case blockTag:
 			fmt.Fprintf(buf, "%s;", tag.label)
 		case string:
@@ -163,6 +184,12 @@ func (f *Fabric) snapMsg(buf *bytes.Buffer, m Msg) {
 	if m.Kind.CarriesData() {
 		fmt.Fprintf(buf, ":%v", m.Words)
 	}
+	if m.Kind == MsgDREQ || m.Kind == MsgDRESP {
+		// Direct accesses carry a word, an offset, and an operation; all
+		// of it determines behavior, so all of it is state. Appended only
+		// for the new kinds, so existing encodings keep their bytes.
+		fmt.Fprintf(buf, ":o%d:w%v:rmw%v:v%d", m.Off, m.DWrite, m.RMW != nil, m.Words[0])
+	}
 }
 
 // PendingDescriptions renders the engine's pending events in firing order
@@ -180,6 +207,10 @@ func (f *Fabric) PendingDescriptions() []string {
 			out = append(out, fmt.Sprintf("proc:%d:%s", tag.node, tag.m.String()))
 		case *retryTag:
 			out = append(out, fmt.Sprintf("retry node%d blk%d", tag.cc.node, tag.b))
+		case *trapTag:
+			out = append(out, tag.label())
+		case *watchTag:
+			out = append(out, tag.label())
 		case blockTag:
 			out = append(out, tag.label)
 		case string:
@@ -209,6 +240,10 @@ func (f *Fabric) NextEventBlock() (mem.Block, bool) {
 	case *procTag:
 		return tag.m.Block, true
 	case *retryTag:
+		return tag.b, true
+	case *trapTag:
+		return tag.b, true
+	case *watchTag:
 		return tag.b, true
 	case blockTag:
 		return tag.b, true

@@ -1,0 +1,115 @@
+package proto
+
+import (
+	"fmt"
+
+	"swex/internal/mem"
+)
+
+// trapKind identifies which software handler a pooled trapTag stands for.
+// The kind, together with the tag's captured fields, reproduces the exact
+// label string the snapshot layer has always encoded for that handler —
+// rendered lazily, only when a snapshot or description actually asks.
+type trapKind uint8
+
+const (
+	// trapRead is the first read-overflow handler invocation on a block.
+	trapRead trapKind = iota
+	// trapReadBatch is a piggybacked request drained by a running read
+	// handler.
+	trapReadBatch
+	// trapWFault is the software write-fault handler.
+	trapWFault
+	// trapLACK is the final-acknowledgment trap (S_NB,LACK).
+	trapLACK
+	// trapAck is a per-acknowledgment software trap (S_NB,ACK).
+	trapAck
+)
+
+// trapTag is the inspection tag and delivery receiver (sim.Caller) of a
+// scheduled software-handler completion. Historically each handler
+// rendered a label string with fmt.Sprintf at scheduling time — five
+// allocation sites on the protocol's software hot path, paid even when
+// nothing ever looked at the label. The tag instead captures the
+// handler's identifying fields and renders the identical bytes on
+// demand (see label). Tags are pooled on the owning HomeCtl, so
+// steady-state trap scheduling allocates nothing.
+type trapTag struct {
+	h    *HomeCtl
+	kind trapKind
+	b    mem.Block
+	r    mem.NodeID
+	// last marks the final acknowledgment of a trapAck.
+	last bool
+	// targets is the invalidation target set of a trapWFault. The slice
+	// belongs to the home's invalidation pool and is released inside the
+	// handler body, after the tag's last possible label render: labels
+	// are only rendered while the completion is still pending.
+	targets []mem.NodeID
+	then    func()
+}
+
+// Fire runs the handler completion, returning the tag to its
+// controller's pool first so nested traps can reuse the slot.
+func (t *trapTag) Fire() {
+	h, then := t.h, t.then
+	t.then = nil
+	t.targets = nil
+	h.trapPool = append(h.trapPool, t)
+	then()
+}
+
+// label renders the tag's snapshot encoding: byte-identical to the
+// Sprintf labels the scheduling sites used to build eagerly, so every
+// existing fingerprint and counterexample narration is preserved.
+func (t *trapTag) label() string {
+	switch t.kind {
+	case trapRead:
+		return fmt.Sprintf("trap:read:%d:blk%d:r%d", t.h.node, t.b, t.r)
+	case trapReadBatch:
+		return fmt.Sprintf("trap:readbatch:%d:blk%d:r%d", t.h.node, t.b, t.r)
+	case trapWFault:
+		return fmt.Sprintf("trap:wfault:%d:blk%d:r%d:t%v", t.h.node, t.b, t.r, t.targets)
+	case trapLACK:
+		return fmt.Sprintf("trap:lack:%d:blk%d", t.h.node, t.b)
+	case trapAck:
+		return fmt.Sprintf("trap:ack:%d:blk%d:last=%v", t.h.node, t.b, t.last)
+	default:
+		panic(fmt.Sprintf("proto: unknown trap kind %d", int(t.kind)))
+	}
+}
+
+// watchTag is the inspection tag of a directoryless watch poll: the
+// back-off event between two re-reads of a watched word. Like trapTag it
+// renders its label lazily (the same bytes the watch machinery's eager
+// labels use), and one tag serves every poll of a watch, so the spin loop
+// allocates nothing per iteration.
+type watchTag struct {
+	node mem.NodeID
+	a    mem.Addr
+	old  uint64
+	b    mem.Block
+}
+
+// label renders the tag's snapshot encoding.
+func (t *watchTag) label() string {
+	return fmt.Sprintf("watch:%d:a%d:o%d", t.node, t.a, t.old)
+}
+
+// grabTrap takes a tag from the pool (or allocates on first use) and
+// stamps it with the handler's identity. Kind-specific fields (last,
+// targets) are reset here and set by the caller when relevant.
+func (h *HomeCtl) grabTrap(kind trapKind, b mem.Block, r mem.NodeID) *trapTag {
+	var t *trapTag
+	if n := len(h.trapPool); n > 0 {
+		t = h.trapPool[n-1]
+		h.trapPool[n-1] = nil
+		h.trapPool = h.trapPool[:n-1]
+	} else {
+		t = &trapTag{h: h}
+	}
+	t.kind, t.b, t.r = kind, b, r
+	t.last = false
+	t.targets = nil
+	return t
+}

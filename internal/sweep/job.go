@@ -25,7 +25,7 @@ const LitmusName = litmus.AppName
 // behavior), so stale cache entries from the previous semantics can never
 // satisfy a new sweep. Purely additive changes (new fields captured into
 // Result) also require a bump, since cached objects would lack them.
-const codeVersion = "swex-sim-v2"
+const codeVersion = "swex-sim-v3"
 
 // ProgramRef names a workload canonically, so a job can be hashed,
 // journaled, and re-resolved in a later process.
@@ -148,6 +148,7 @@ func (j Job) Key(salt string) (string, error) {
 	put("ack", int(s.AckMode))
 	put("bcast", s.Broadcast)
 	put("swonly", s.SoftwareOnly)
+	put("dls", s.Directoryless)
 	put("soft", int(c.Software))
 	put("victim", c.VictimLines)
 	put("pifetch", c.PerfectIfetch)
@@ -164,6 +165,19 @@ func (j Job) Key(salt string) (string, error) {
 	put("freq", t.ReqFlits)
 	put("fdata", t.DataFlits)
 	put("fctl", t.CtlFlits)
+	mt := c.MemTier
+	put("mtkind", int(mt.Kind))
+	put("mthops", mt.Far.Hops)
+	put("mthopcyc", int64(mt.Far.HopCycles))
+	put("mtflitcyc", int64(mt.Far.FlitCycles))
+	put("mtflits", mt.Far.Flits)
+	put("mtmemcyc", int64(mt.Far.MemCycles))
+	put("mtdread", int64(mt.DRAMRead))
+	put("mtdwrite", int64(mt.DRAMWrite))
+	put("mtnread", int64(mt.NVMRead))
+	put("mtnwrite", int64(mt.NVMWrite))
+	put("mtdblocks", mt.DRAMBlocks)
+	put("mtpromote", mt.PromoteAfter)
 	put("limit", int64(j.Limit))
 	return b.String(), nil
 }
