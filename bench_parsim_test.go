@@ -1,0 +1,57 @@
+package swex
+
+// Parallel-engine benchmarks on real simulation work: the 256-node slice
+// of the scaling study (all four protocol spectrum points at 256 nodes,
+// the biggest machines any committed exhibit simulates) run serially and
+// on four engine workers. Committed baseline: BENCH_parsim.json
+// (regenerate with `make bench-parsim`). Results are byte-identical
+// between the variants by construction — only wall-clock differs. On a
+// single-core container the 4-worker variant is *slower* than serial
+// (the window barriers add work and nothing can overlap);
+// BenchmarkParsimOverlap* in internal/sim measures the window
+// scheduler's overlap itself, which is the honest speedup measurement
+// there, and the multi-core speedup figures live in EXPERIMENTS.md.
+
+import (
+	"context"
+	"testing"
+
+	"swex/internal/machine"
+	"swex/internal/proto"
+	"swex/internal/sweep"
+)
+
+// scaling256Jobs is the 256-node slice of the scaling study's matrix
+// (16-node machines in -short).
+func scaling256Jobs() []sweep.Job {
+	nodes := 256
+	if testing.Short() {
+		nodes = 16
+	}
+	var jobs []sweep.Job
+	for _, spec := range []proto.Spec{
+		proto.SoftwareOnly(),
+		proto.OnePointer(proto.AckSW),
+		proto.LimitLESS(5),
+		proto.FullMap(),
+	} {
+		jobs = append(jobs, sweep.AppJob("TSP", testing.Short(), machine.Config{
+			Nodes: nodes, Spec: spec, VictimLines: 8,
+		}))
+	}
+	return jobs
+}
+
+func benchParsimScaling(b *testing.B, simWorkers int) {
+	jobs := scaling256Jobs()
+	for i := 0; i < b.N; i++ {
+		r := sweep.MustNewRunner(sweep.Config{Workers: 1, SimWorkers: simWorkers})
+		if _, err := r.Run(context.Background(), jobs); err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+	}
+}
+
+func BenchmarkParsimScaling256Serial(b *testing.B)   { benchParsimScaling(b, 1) }
+func BenchmarkParsimScaling256Workers4(b *testing.B) { benchParsimScaling(b, 4) }

@@ -7,7 +7,7 @@
 //	swex [-quick] <experiment> [<experiment>...]
 //	swex [-quick] all
 //
-// Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 scaling tiers
+// Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 scaling extrapolation tiers
 // Ablations:   ablate-localbit ablate-software ablate-broadcast ablate-batch
 //
 // -quick runs reduced problem sizes (seconds instead of minutes) that
@@ -18,6 +18,13 @@
 // core), and -cache persists finished simulation points to a
 // content-addressed result cache so re-runs and overlapping experiments
 // skip completed work. Output is byte-identical at any worker count.
+//
+// -simworkers additionally runs each simulation on the conservative
+// parallel engine (DESIGN.md §14) with that many shard workers. Results —
+// and therefore cache entries — are byte-identical to serial runs at any
+// value, so the knob only changes wall-clock time; it is deliberately not
+// part of the cache key. The big single-machine exhibits (scaling,
+// extrapolation) are where it pays off.
 package main
 
 import (
@@ -103,6 +110,13 @@ func experiments() []experiment {
 			}
 			return d.Figure().String(), d, nil
 		}},
+		{"extrapolation", "TSP at 256/512/1024 nodes, beyond Figure 5", func(o swex.Options) (string, any, error) {
+			d, err := swex.Extrapolation(o)
+			if err != nil {
+				return "", nil, err
+			}
+			return d.Table().String(), d, nil
+		}},
 		{"tiers", "WORKER across memory-system families (flat, disaggregated, NVM, directoryless)", func(o swex.Options) (string, any, error) {
 			d, err := swex.Tiers(o)
 			if err != nil {
@@ -137,6 +151,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = one per core)")
+	simWorkers := flag.Int("simworkers", 0, "parallel engine workers per simulation (0 or 1 = serial; output is byte-identical at any value)")
 	cacheDir := flag.String("cache", "", "content-addressed result cache directory (empty = in-memory only)")
 	flag.Usage = usage
 	flag.Parse()
@@ -146,7 +161,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	sweeper, err := swex.NewSweeper(swex.SweeperConfig{Workers: *workers, CacheDir: *cacheDir})
+	sweeper, err := swex.NewSweeper(swex.SweeperConfig{Workers: *workers, SimWorkers: *simWorkers, CacheDir: *cacheDir})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "swex: %v\n", err)
 		os.Exit(1)
@@ -203,7 +218,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: swex [-quick] [-workers N] [-cache DIR] <experiment>... | all\n\nexperiments:\n")
+	fmt.Fprintf(os.Stderr, "usage: swex [-quick] [-workers N] [-simworkers N] [-cache DIR] <experiment>... | all\n\nexperiments:\n")
 	var names []string
 	byName := map[string]string{}
 	for _, e := range experiments() {

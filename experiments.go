@@ -53,6 +53,13 @@ type Options struct {
 	// the assemblers consume results by submission index either way, so
 	// output is byte-identical wherever the simulations ran.
 	Sweep JobRunner
+	// SimWorkers runs each simulation on the conservative parallel engine
+	// with this many shard workers (0 or 1 = serial). It only configures
+	// the private runner used when Sweep is nil; a caller-supplied runner
+	// carries its own sweep.Config.SimWorkers. Either way the knob is
+	// invisible to the result cache: parallel runs are byte-identical to
+	// serial (DESIGN.md §14), so the two share cache entries.
+	SimWorkers int
 }
 
 // sweeper returns the runner the experiment executes on.
@@ -60,7 +67,7 @@ func (o Options) sweeper() JobRunner {
 	if o.Sweep != nil {
 		return o.Sweep
 	}
-	return sweep.MustNewRunner(sweep.Config{})
+	return sweep.MustNewRunner(sweep.Config{SimWorkers: o.SimWorkers})
 }
 
 // run executes the matrix with fail-fast semantics.
@@ -743,6 +750,104 @@ func (d *ScalingData) Figure() *report.Figure {
 	return f
 }
 
+// -------------------------------------------------------- extrapolation
+
+// ExtrapolationData holds TSP speedups and per-node efficiencies at
+// machine sizes beyond the paper's reach. Figure 5 stops at 256 nodes —
+// the largest machine NWO could simulate in the time the authors had;
+// this exhibit continues the same curve to 512 and 1024 nodes, which the
+// conservative parallel engine (DESIGN.md §14) makes affordable: the
+// simulation is byte-identical to a serial run but finishes in a fraction
+// of the wall-clock time.
+type ExtrapolationData struct {
+	Sizes     []int
+	Protocols []string
+	// Speedup[protocol][i] is the speedup at Sizes[i] over sequential.
+	Speedup map[string][]float64
+}
+
+// extrapolationShape returns the machine sizes and protocol points. The
+// protocols are Figure 5's headliners: the full-map upper bound, the
+// LimitLESS point the paper argues tracks it, and software-only as the
+// floor — the question at 1024 nodes is whether the software-extended
+// scheme still tracks full-map when the directory working set is 4x
+// anything the paper measured.
+func extrapolationShape(o Options) (sizes []int, specs []proto.Spec) {
+	sizes = []int{256, 512, 1024}
+	if o.Quick {
+		sizes = []int{8, 32}
+	}
+	specs = []proto.Spec{
+		proto.SoftwareOnly(),
+		proto.LimitLESS(5),
+		proto.FullMap(),
+	}
+	return sizes, specs
+}
+
+// ExtrapolationJobs enumerates the extrapolation: the sequential TSP
+// baseline (the same job the scaling study and Figure 5 submit, so a
+// shared runner executes it once), then each protocol at each size.
+func ExtrapolationJobs(o Options) []sweep.Job {
+	sizes, specs := extrapolationShape(o)
+	jobs := []sweep.Job{sweep.AppJob("TSP", o.Quick, machine.Config{
+		Nodes: 1, Spec: proto.FullMap(), VictimLines: 8,
+	})}
+	for _, spec := range specs {
+		for _, n := range sizes {
+			jobs = append(jobs, sweep.AppJob("TSP", o.Quick, machine.Config{
+				Nodes: n, Spec: spec, VictimLines: 8,
+			}))
+		}
+	}
+	return jobs
+}
+
+// Extrapolation runs TSP at 256, 512, and 1024 nodes across three
+// protocol spectrum points.
+func Extrapolation(o Options) (*ExtrapolationData, error) {
+	sizes, specs := extrapolationShape(o)
+	results, err := o.run(ExtrapolationJobs(o))
+	if err != nil {
+		return nil, fmt.Errorf("extrapolation: %w", err)
+	}
+	seq := results[0]
+	d := &ExtrapolationData{Sizes: sizes, Speedup: make(map[string][]float64)}
+	for _, s := range specs {
+		d.Protocols = append(d.Protocols, s.Name)
+	}
+	for si, spec := range specs {
+		for ni := range sizes {
+			res := results[1+si*len(sizes)+ni]
+			d.Speedup[spec.Name] = append(d.Speedup[spec.Name],
+				float64(seq.Time)/float64(res.Time))
+		}
+	}
+	return d, nil
+}
+
+// Table renders the exhibit as sizes × protocols, each cell the speedup
+// over sequential with the per-node efficiency (speedup divided by node
+// count) alongside — the number that reveals whether the curve is still
+// climbing or has gone flat.
+func (d *ExtrapolationData) Table() *report.Table {
+	headers := []string{"Nodes"}
+	for _, p := range d.Protocols {
+		headers = append(headers, p+" speedup", p+" eff")
+	}
+	t := report.NewTable("Extrapolation: TSP beyond Figure 5 (speedup over sequential; eff = speedup/nodes)",
+		headers...)
+	for i, n := range d.Sizes {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, p := range d.Protocols {
+			s := d.Speedup[p][i]
+			row = append(row, fmt.Sprintf("%.1f", s), fmt.Sprintf("%.3f", s/float64(n)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
 // ---------------------------------------------------------------- Tiers
 
 // TiersData holds WORKER run times across the machine-spectrum families
@@ -874,8 +979,8 @@ type Matrix struct {
 }
 
 // Matrices returns every sweep-backed exhibit in paper order: the three
-// tables, Figures 2-6, the scaling study, and the machine-spectrum
-// (memory-tier) study.
+// tables, Figures 2-6, the scaling study, the 1024-node extrapolation,
+// and the machine-spectrum (memory-tier) study.
 func Matrices() []Matrix {
 	return []Matrix{
 		{"table1", "average software-extension latencies (C vs assembly)", Table1Jobs,
@@ -949,6 +1054,14 @@ func Matrices() []Matrix {
 					return "", err
 				}
 				return d.Figure().String(), nil
+			}},
+		{"extrapolation", "TSP at 256/512/1024 nodes, beyond Figure 5", ExtrapolationJobs,
+			func(o Options) (string, error) {
+				d, err := Extrapolation(o)
+				if err != nil {
+					return "", err
+				}
+				return d.Table().String(), nil
 			}},
 		{"tiers", "WORKER across memory-system families (flat, disaggregated, NVM, directoryless)", TiersJobs,
 			func(o Options) (string, error) {

@@ -17,9 +17,12 @@ import (
 	"swex/internal/mem"
 )
 
-// MaxNodes bounds the pointer bitset. 256 covers the largest machine the
-// paper simulates (TSP on 256 nodes, Figure 5).
-const MaxNodes = 256
+// MaxNodes bounds the pointer bitset. 1024 covers the largest machine
+// any exhibit simulates: the paper stops at TSP on 256 nodes (Figure 5)
+// and the extrapolation study continues to 1024. machine.Config.Validate
+// rejects larger machines rather than letting node IDs index past the
+// bitset.
+const MaxNodes = 1024
 
 // PointerSet is a capacity-limited set of node pointers. The limited
 // directory stores it as explicit pointer registers; we represent it as a

@@ -143,6 +143,7 @@ func DefaultConfig() *Config {
 			"swex/internal/litmus",
 			"swex/internal/mc",
 			"swex/internal/memtier",
+			"swex/internal/sim",
 			"swex/internal/sweep",
 			"swex/internal/swexd",
 			"swex/internal/trace",

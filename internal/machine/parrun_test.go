@@ -1,0 +1,206 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"swex/internal/mem"
+	"swex/internal/proc"
+	"swex/internal/proto"
+	"swex/internal/sim"
+)
+
+// fingerprint renders every Result field the exhibits can observe into one
+// deterministic string, so serial/parallel comparisons fail loudly with a
+// diffable dump instead of a bare mismatch.
+func fingerprint(res Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "time=%d\n", res.Time)
+	fmt.Fprintf(&b, "finish=%v\n", res.Finish)
+	fmt.Fprintf(&b, "traps=%d handler=%d msgs=%d retries=%d\n",
+		res.Traps, res.HandlerCycles, res.Messages, res.BusyRetries)
+	fmt.Fprintf(&b, "counters:\n%s", res.Counters.String())
+	fmt.Fprintf(&b, "workersets:\n%s", res.WorkerSets.String())
+	if res.Ledger != nil {
+		fmt.Fprintf(&b, "ledger n=%d\n", res.Ledger.N())
+		for i, r := range res.Ledger.Records() {
+			fmt.Fprintf(&b, "  %d: %v %d cycles sharers=%d %v\n",
+				i, r.Kind, r.Cycles, r.Sharers, r.Breakdown)
+		}
+	}
+	return b.String()
+}
+
+// runFingerprint builds a machine from cfg (with the given worker count),
+// applies setup, runs program, and returns the result fingerprint.
+func runFingerprint(t *testing.T, cfg Config, workers int, program func(*proc.Env)) string {
+	t.Helper()
+	cfg.SimWorkers = workers
+	m := MustNew(cfg)
+	m.Mem.AllocOn(0, 64)
+	res, err := m.Run(program, 50_000_000)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return fingerprint(res)
+}
+
+// contendedProgram mixes the behaviors that exercise every merge path:
+// fetch-and-add contention (BUSY retries, invalidations), wide read
+// sharing (directory overflow traps on limited protocols), per-node
+// private work, and uneven thread lengths.
+func contendedProgram(env *proc.Env) {
+	base := mem.SegBase(0)
+	for i := 0; i < 12; i++ {
+		env.FetchAdd(base, 1)
+		env.Read(base + mem.Addr(8*(int(env.ID())%4)))
+		env.Read(base + 8*mem.WordsPerBlock)
+		env.Compute(sim.Cycle(computeLen(int(env.ID()))))
+	}
+	if int(env.ID())%3 == 0 {
+		for i := 0; i < 20; i++ {
+			env.FetchAdd(base+16*mem.WordsPerBlock, 2)
+		}
+	}
+}
+
+// computeLen gives deterministic, node-dependent compute lengths so
+// threads finish at staggered cycles and the finish cut is actually
+// exercised.
+func computeLen(id int) int { return 3 + (id*7)%11 }
+
+func TestParallelMatchesSerial(t *testing.T) {
+	specs := []proto.Spec{proto.FullMap(), proto.LimitLESS(2), proto.SoftwareOnly()}
+	for _, spec := range specs {
+		t.Run(spec.Name, func(t *testing.T) {
+			cfg := DefaultConfig(16, spec)
+			want := runFingerprint(t, cfg, 0, contendedProgram)
+			for _, w := range []int{2, 3, 4, 8, 16} {
+				got := runFingerprint(t, cfg, w, contendedProgram)
+				if got != want {
+					t.Errorf("workers=%d diverges from serial:\nserial:\n%s\nparallel:\n%s",
+						w, want, got)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelMoreWorkersThanNodes(t *testing.T) {
+	cfg := DefaultConfig(4, proto.LimitLESS(2))
+	want := runFingerprint(t, cfg, 0, contendedProgram)
+	got := runFingerprint(t, cfg, 9, contendedProgram)
+	if got != want {
+		t.Errorf("workers>nodes diverges from serial:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+}
+
+func TestParallelMultipleThreadsPerNode(t *testing.T) {
+	cfg := DefaultConfig(8, proto.LimitLESS(2))
+	cfg.ThreadsPerNode = 2
+	want := runFingerprint(t, cfg, 0, contendedProgram)
+	for _, w := range []int{2, 4} {
+		got := runFingerprint(t, cfg, w, contendedProgram)
+		if got != want {
+			t.Errorf("workers=%d with 2 threads/node diverges from serial", w)
+		}
+	}
+}
+
+// TestBrokenLookaheadDiverges is the negative control for the whole
+// byte-identity suite: widening the window beyond the mesh's minimum
+// message latency lets shards run past cycles at which cross-shard
+// messages should have arrived, and the runs must stop matching — either
+// as a differing fingerprint or, more commonly, as the engine's
+// scheduling-in-the-past panic when a barrier merge tries to deliver a
+// message into a shard's overrun past. If this test ever observes clean,
+// identical runs with an unsound window, the equivalence tests have lost
+// their teeth (e.g. the parallel path silently fell back to serial).
+func TestBrokenLookaheadDiverges(t *testing.T) {
+	cfg := DefaultConfig(16, proto.LimitLESS(2))
+	want := runFingerprint(t, cfg, 0, contendedProgram)
+	restore := ForceLookaheadForTest(10_000)
+	defer restore()
+	diverged := false
+	for _, w := range []int{2, 4, 8} {
+		got, panicked := runBroken(t, cfg, w)
+		if panicked || got != want {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("oversized lookahead still byte-identical at every worker count; the equivalence suite cannot detect unsound windows")
+	}
+}
+
+// runBroken is runFingerprint for the negative control: a run that dies
+// on the engine's soundness panic reports panicked instead of failing the
+// test.
+func runBroken(t *testing.T, cfg Config, workers int) (fp string, panicked bool) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+		}
+	}()
+	cfg.SimWorkers = workers
+	m := MustNew(cfg)
+	m.Mem.AllocOn(0, 64)
+	res, err := m.Run(contendedProgram, 50_000_000)
+	if err != nil {
+		return "", true
+	}
+	return fingerprint(res), false
+}
+
+func TestParallelDeadlockDetected(t *testing.T) {
+	cfg := DefaultConfig(4, proto.FullMap())
+	cfg.SimWorkers = 2
+	m := MustNew(cfg)
+	a := m.Mem.AllocOn(0, 1)
+	_, err := m.Run(func(env *proc.Env) {
+		env.WaitChange(a, 0) // nobody ever writes: deadlock
+	}, 100_000)
+	if err == nil {
+		t.Fatal("deadlocked parallel run reported success")
+	}
+}
+
+func TestParallelLimitEnforced(t *testing.T) {
+	cfg := DefaultConfig(2, proto.FullMap())
+	cfg.SimWorkers = 2
+	m := MustNew(cfg)
+	_, err := m.Run(func(env *proc.Env) {
+		for i := 0; i < 1000; i++ {
+			env.Compute(1000)
+		}
+	}, 10_000)
+	if err == nil {
+		t.Fatal("limit exceeded but no error")
+	}
+}
+
+func TestParallelConfigValidation(t *testing.T) {
+	base := DefaultConfig(4, proto.FullMap())
+	neg := base
+	neg.SimWorkers = -1
+	if _, err := New(neg); err == nil {
+		t.Fatal("negative SimWorkers accepted")
+	}
+	faulty := DefaultConfig(4, proto.LimitLESS(2))
+	faulty.SimWorkers = 2
+	faulty.LoseInv = 1
+	if _, err := New(faulty); err == nil {
+		t.Fatal("SimWorkers=2 with LoseInv accepted")
+	}
+}
+
+func TestParallelRunProfiledRejected(t *testing.T) {
+	cfg := DefaultConfig(4, proto.FullMap())
+	cfg.SimWorkers = 2
+	m := MustNew(cfg)
+	if _, _, err := m.RunProfiled(func(env *proc.Env) { env.Compute(1) }, 0, 100); err == nil {
+		t.Fatal("RunProfiled on a parallel machine reported success")
+	}
+}

@@ -3,6 +3,8 @@ package machine
 import (
 	"errors"
 	"fmt"
+
+	"swex/internal/dir"
 )
 
 // Named validation errors. Validate wraps these with the offending value,
@@ -10,20 +12,31 @@ import (
 // was wrong. Spec and memory-tier errors pass through from their own
 // packages (proto.Spec.Validate, memtier.Config.Validate).
 var (
-	// ErrNodes flags a non-positive machine size.
-	ErrNodes = errors.New("machine: node count must be positive")
+	// ErrNodes flags a machine size outside 1..dir.MaxNodes. The upper
+	// bound is the hardware pointer bitset's capacity; a node ID past it
+	// would index out of the directory's fixed-size pointer words.
+	ErrNodes = errors.New("machine: node count must be in 1..dir.MaxNodes")
 	// ErrLoseInv flags a negative lost-invalidation index. Zero disables
 	// the fault fixture; positive selects the N-th invalidation; negative
 	// selects nothing and almost certainly means a sign bug at the call
 	// site.
 	ErrLoseInv = errors.New("machine: LoseInv must be non-negative")
+	// ErrSimWorkers flags a negative worker count. Zero and one both mean
+	// the serial engine.
+	ErrSimWorkers = errors.New("machine: SimWorkers must be non-negative")
+	// ErrParallelUnsupported flags a feature the conservative parallel
+	// engine excludes (DESIGN.md §14): tracing and custom software read
+	// or write machine-wide state mid-run, and fault injection counts
+	// messages machine-wide at send time — all of which parallel mode
+	// defers to barriers. Run those configurations serially.
+	ErrParallelUnsupported = errors.New("machine: feature requires the serial engine (SimWorkers <= 1)")
 )
 
 // Validate reports configuration errors before any machine state is
 // built. machine.New runs it; experiment drivers can run it early to
 // fail fast on a bad sweep matrix.
 func (c Config) Validate() error {
-	if c.Nodes <= 0 {
+	if c.Nodes <= 0 || c.Nodes > dir.MaxNodes {
 		return fmt.Errorf("%w: got %d", ErrNodes, c.Nodes)
 	}
 	if err := c.Spec.Validate(); err != nil {
@@ -31,6 +44,19 @@ func (c Config) Validate() error {
 	}
 	if c.LoseInv < 0 {
 		return fmt.Errorf("%w: got %d", ErrLoseInv, c.LoseInv)
+	}
+	if c.SimWorkers < 0 {
+		return fmt.Errorf("%w: got %d", ErrSimWorkers, c.SimWorkers)
+	}
+	if c.SimWorkers > 1 {
+		switch {
+		case c.Trace != nil:
+			return fmt.Errorf("%w: Trace", ErrParallelUnsupported)
+		case c.CustomSoftware != nil:
+			return fmt.Errorf("%w: CustomSoftware", ErrParallelUnsupported)
+		case c.LoseInv > 0:
+			return fmt.Errorf("%w: LoseInv", ErrParallelUnsupported)
+		}
 	}
 	return c.MemTier.Validate()
 }

@@ -48,10 +48,17 @@ func SegBase(n NodeID) Addr { return Addr(n) * SegWords }
 // Memory is the machine's globally shared backing store plus a bump
 // allocator per node segment. It holds word values only; all timing lives
 // in the cache and protocol models.
+//
+// The store is sharded by home segment — one map per node, indexed by
+// HomeOf — so the parallel engine's shards never share a map: at run
+// time a block's words are touched only by its home node's protocol
+// handlers (the directory serializes all access to a block through its
+// home), and the home runs on exactly one shard. The sharding is free
+// for the serial engine: HomeOf is a divide by a constant.
 type Memory struct {
 	nodes int
-	data  map[Addr]uint64
-	brk   []Addr // per-node allocation cursor, relative to segment base
+	data  []map[Addr]uint64 // per-home-segment word store
+	brk   []Addr            // per-node allocation cursor, relative to segment base
 }
 
 // New creates the backing store for an n-node machine.
@@ -59,9 +66,13 @@ func New(n int) *Memory {
 	if n <= 0 {
 		panic(fmt.Sprintf("mem: machine with %d nodes", n))
 	}
+	data := make([]map[Addr]uint64, n)
+	for i := range data {
+		data[i] = make(map[Addr]uint64)
+	}
 	return &Memory{
 		nodes: n,
-		data:  make(map[Addr]uint64),
+		data:  data,
 		brk:   make([]Addr, n),
 	}
 }
@@ -70,17 +81,18 @@ func New(n int) *Memory {
 func (m *Memory) Nodes() int { return m.nodes }
 
 // Read returns the word at addr (zero if never written).
-func (m *Memory) Read(a Addr) uint64 { return m.data[a] }
+func (m *Memory) Read(a Addr) uint64 { return m.data[HomeOf(a)][a] }
 
 // Write stores v at addr.
-func (m *Memory) Write(a Addr, v uint64) { m.data[a] = v }
+func (m *Memory) Write(a Addr, v uint64) { m.data[HomeOf(a)][a] = v }
 
 // ReadBlock copies the block's words into a fresh slice.
 func (m *Memory) ReadBlock(b Block) [WordsPerBlock]uint64 {
 	var w [WordsPerBlock]uint64
 	base := b.Base()
+	seg := m.data[HomeOf(base)]
 	for i := range w {
-		w[i] = m.data[base+Addr(i)]
+		w[i] = seg[base+Addr(i)]
 	}
 	return w
 }
@@ -88,8 +100,9 @@ func (m *Memory) ReadBlock(b Block) [WordsPerBlock]uint64 {
 // WriteBlock stores a block's words.
 func (m *Memory) WriteBlock(b Block, w [WordsPerBlock]uint64) {
 	base := b.Base()
+	seg := m.data[HomeOf(base)]
 	for i, v := range w {
-		m.data[base+Addr(i)] = v
+		seg[base+Addr(i)] = v
 	}
 }
 

@@ -20,8 +20,8 @@ func benchAccess(b *testing.B, cfg Config) {
 	for i := 0; i < b.N; i++ {
 		m.Access(mem.NodeID(i%4), mem.Block(i%256), i%4 == 0)
 	}
-	if m.Stats.Accesses != uint64(b.N) {
-		b.Fatalf("accounted %d accesses, ran %d", m.Stats.Accesses, b.N)
+	if m.Stats().Accesses != uint64(b.N) {
+		b.Fatalf("accounted %d accesses, ran %d", m.Stats().Accesses, b.N)
 	}
 }
 

@@ -101,18 +101,20 @@ func DefaultDisaggregated() Config {
 }
 
 // DefaultTiered returns the hybrid DRAM/NVM scenario used by the
-// exhibits: DRAM at the flat machine's latency, NVM at 3x for reads and
-// 10x for writes (the asymmetry of real devices), a 64-block DRAM set
-// per home, and promotion on the fourth touch.
+// exhibits: DRAM at the flat machine's latency, NVM at 6x for reads and
+// 20x for writes (device asymmetry plus controller queueing), a 64-block
+// DRAM set per home, and promotion on the eighth touch — late enough
+// that cold and lightly-shared blocks pay the NVM price for a meaningful
+// fraction of their accesses.
 func DefaultTiered() Config {
 	return Config{
 		Kind:         KindTiered,
 		DRAMRead:     8,
 		DRAMWrite:    8,
-		NVMRead:      24,
-		NVMWrite:     80,
+		NVMRead:      48,
+		NVMWrite:     160,
 		DRAMBlocks:   64,
-		PromoteAfter: 4,
+		PromoteAfter: 8,
 	}
 }
 
@@ -187,8 +189,17 @@ type Model struct {
 	ch     []sim.Server    // KindTiered: per-home memory channel
 	tiers  []homeTier      // KindTiered: per-home placement
 
-	// Stats is the model's machine-wide accounting.
-	Stats Stats
+	// stats is the accounting, sharded by home: every runtime mutation
+	// happens on the accessed home, which the conservative parallel
+	// engine guarantees runs on exactly one shard, so per-home counters
+	// are race-free in parallel mode and sum to the machine-wide totals
+	// Stats reports. (The sums commute, so the totals are identical to a
+	// serial run's.)
+	stats []Stats
+
+	// clock, when non-nil, supplies the cycle home's shard observes in
+	// place of the master engine's clock (parallel mode; DESIGN.md §14).
+	clock func(mem.NodeID) sim.Cycle
 }
 
 // New builds a model for a machine of n nodes. A KindFlat configuration
@@ -199,7 +210,7 @@ func New(engine *sim.Engine, n int, cfg Config) *Model {
 	if cfg.Kind == KindFlat {
 		return nil
 	}
-	m := &Model{cfg: cfg, engine: engine}
+	m := &Model{cfg: cfg, engine: engine, stats: make([]Stats, n)}
 	switch cfg.Kind {
 	case KindDisaggregated:
 		m.far = make([]mesh.TierLink, n)
@@ -226,6 +237,25 @@ func New(engine *sim.Engine, n int, cfg Config) *Model {
 // Kind reports the model's configured kind.
 func (m *Model) Kind() Kind { return m.cfg.Kind }
 
+// Stats sums the per-home accounting into the machine-wide totals.
+func (m *Model) Stats() Stats {
+	var t Stats
+	for i := range m.stats {
+		s := &m.stats[i]
+		t.Accesses += s.Accesses
+		t.FarQueued += s.FarQueued
+		t.DRAMHits += s.DRAMHits
+		t.NVMAccesses += s.NVMAccesses
+		t.Promotions += s.Promotions
+		t.Demotions += s.Demotions
+	}
+	return t
+}
+
+// EnableParallel installs the per-home clock used in parallel mode. Must
+// be called before any simulated work.
+func (m *Model) EnableParallel(clock func(mem.NodeID) sim.Cycle) { m.clock = clock }
+
 // Access charges one directory-side memory access to block b at home and
 // returns its total latency (queueing included), which the caller folds
 // into the protocol event that needed the data. The access also occupies
@@ -233,12 +263,17 @@ func (m *Model) Kind() Kind { return m.cfg.Kind }
 // a fire-and-forget write (a writeback landing in memory) delays the
 // reads behind it even though nothing waits on the write itself.
 func (m *Model) Access(home mem.NodeID, b mem.Block, write bool) sim.Cycle {
-	m.Stats.Accesses++
-	now := m.engine.Now()
+	m.stats[home].Accesses++
+	var now sim.Cycle
+	if m.clock == nil {
+		now = m.engine.Now()
+	} else {
+		now = m.clock(home)
+	}
 	switch m.cfg.Kind {
 	case KindDisaggregated:
 		queue, transit := m.far[home].Transfer(now)
-		m.Stats.FarQueued += queue
+		m.stats[home].FarQueued += queue
 		return queue + transit
 	case KindTiered:
 		return m.tieredAccess(home, b, write, now)
@@ -253,16 +288,17 @@ func (m *Model) Access(home mem.NodeID, b mem.Block, write bool) sim.Cycle {
 // the touch, and promotes the block when it crosses the threshold.
 func (m *Model) tieredAccess(home mem.NodeID, b mem.Block, write bool, now sim.Cycle) sim.Cycle {
 	t := &m.tiers[home]
+	st := &m.stats[home]
 	var lat sim.Cycle
 	if t.dram[b] {
-		m.Stats.DRAMHits++
+		st.DRAMHits++
 		if write {
 			lat = m.cfg.DRAMWrite
 		} else {
 			lat = m.cfg.DRAMRead
 		}
 	} else {
-		m.Stats.NVMAccesses++
+		st.NVMAccesses++
 		if write {
 			lat = m.cfg.NVMWrite
 		} else {
@@ -270,31 +306,31 @@ func (m *Model) tieredAccess(home mem.NodeID, b mem.Block, write bool, now sim.C
 		}
 		t.touches[b]++
 		if t.touches[b] >= m.cfg.PromoteAfter {
-			m.promote(t, b)
+			m.promote(t, st, b)
 		}
 	}
 	start := m.ch[home].Reserve(now, lat)
 	queue := start - now
-	m.Stats.FarQueued += queue
+	st.FarQueued += queue
 	return queue + lat
 }
 
 // promote moves b into the home's DRAM set, evicting the oldest resident
 // (promotion order) when the set is full. The evicted block restarts its
 // touch count: it must re-earn promotion.
-func (m *Model) promote(t *homeTier, b mem.Block) {
+func (m *Model) promote(t *homeTier, st *Stats, b mem.Block) {
 	if len(t.order) >= m.cfg.DRAMBlocks {
 		victim := t.order[0]
 		copy(t.order, t.order[1:])
 		t.order = t.order[:len(t.order)-1]
 		delete(t.dram, victim)
 		t.touches[victim] = 0
-		m.Stats.Demotions++
+		st.Demotions++
 	}
 	t.dram[b] = true
 	t.order = append(t.order, b)
 	delete(t.touches, b)
-	m.Stats.Promotions++
+	st.Promotions++
 }
 
 // InDRAM reports whether block b currently sits in its home's DRAM set

@@ -83,8 +83,8 @@ func TestDisaggregatedLatencyAndQueueing(t *testing.T) {
 	if got := m.Access(1, 2, true); got != 38 {
 		t.Fatalf("other home's access cost %d, want 38", got)
 	}
-	if m.Stats.Accesses != 3 {
-		t.Fatalf("accesses = %d, want 3", m.Stats.Accesses)
+	if m.Stats().Accesses != 3 {
+		t.Fatalf("accesses = %d, want 3", m.Stats().Accesses)
 	}
 }
 
@@ -144,8 +144,8 @@ func TestTieredAsymmetryAndPromotion(t *testing.T) {
 	if got := access(b0, false); got != 20 {
 		t.Fatalf("demoted block read cost %d, want 20 (NVM)", got)
 	}
-	if m.Stats.Promotions != 2 || m.Stats.Demotions != 1 {
-		t.Fatalf("promotions=%d demotions=%d, want 2/1", m.Stats.Promotions, m.Stats.Demotions)
+	if m.Stats().Promotions != 2 || m.Stats().Demotions != 1 {
+		t.Fatalf("promotions=%d demotions=%d, want 2/1", m.Stats().Promotions, m.Stats().Demotions)
 	}
 }
 
@@ -158,8 +158,8 @@ func TestTieredChannelQueueing(t *testing.T) {
 		t.Fatalf("same-cycle second access cost %d, want %d (queued behind the first)",
 			second, first+cfg.NVMRead)
 	}
-	if m.Stats.FarQueued != first {
-		t.Fatalf("queued %d cycles, want %d", m.Stats.FarQueued, first)
+	if m.Stats().FarQueued != first {
+		t.Fatalf("queued %d cycles, want %d", m.Stats().FarQueued, first)
 	}
 }
 

@@ -59,6 +59,11 @@ type Fabric struct {
 	// under "msg.dropped".
 	Fault func(Msg) bool
 
+	// par, when non-nil, puts the fabric in conservative-parallel mode:
+	// scheduling routes through per-shard engines and sends/statistics
+	// are staged for barrier-time merge (see parfabric.go).
+	par *parState
+
 	homes      []*HomeCtl
 	caches     []*CacheCtl
 	checker    *Checker
@@ -194,6 +199,31 @@ func (f *Fabric) Send(m Msg) { f.SendDelayed(m, 0) }
 //
 //swex:hotpath
 func (f *Fabric) SendDelayed(m Msg, extra sim.Cycle) {
+	if f.par != nil {
+		// Parallel mode: stage the send in the issuing shard's outbox
+		// for the barrier merge (parfabric.go). Senders always run on
+		// their own shard, so shardOf[m.Src] is the current shard. The
+		// hooks skipped here — fault injection, tracing, the in-flight
+		// registry — are exactly the features Validate excludes from
+		// parallel runs; the message counter is charged at merge time.
+		s := f.par.shardOf[m.Src]
+		ob := &f.par.outbox[s]
+		if ob.n >= len(ob.buf) {
+			panic("proto: send outbox overflow: PrepareShard headroom too small for one event")
+		}
+		e := f.par.engines[s]
+		kO, kC := e.CurKey()
+		ob.buf[ob.n] = stagedSend{
+			at:     e.Now(),
+			kOwner: kO,
+			kCnt:   kC,
+			dCnt:   e.TakeCnt(int(m.Src)),
+			extra:  extra,
+			m:      m,
+		}
+		ob.n++
+		return
+	}
 	if f.Fault != nil && f.Fault(m) {
 		f.Counters.Inc("msg.dropped")
 		if f.Trace != nil {
@@ -216,11 +246,15 @@ func (f *Fabric) SendDelayed(m Msg, extra sim.Cycle) {
 	f.Net.SendCall(int(m.Src), int(m.Dst), f.Timing.Flits(m.Kind), extra, fl, fl)
 }
 
-// retire removes a delivered message from the in-flight registry.
+// retire removes a delivered message from the in-flight registry. The
+// shift-down removal preserves send order without reallocating.
 func (f *Fabric) retire(fl *flight) {
 	for i, cur := range f.inflight {
 		if cur == fl {
-			f.inflight = append(f.inflight[:i], f.inflight[i+1:]...)
+			copy(f.inflight[i:], f.inflight[i+1:])
+			last := len(f.inflight) - 1
+			f.inflight[last] = nil
+			f.inflight = f.inflight[:last]
 			return
 		}
 	}

@@ -1,0 +1,341 @@
+package proto
+
+import (
+	"swex/internal/mem"
+	"swex/internal/sim"
+)
+
+// This file is the protocol fabric's side of the conservative parallel
+// engine (DESIGN.md §14). In parallel mode the machine shards its nodes
+// across several sim.Engines; within a time window each shard runs alone
+// and may only touch shard-local state, so the fabric reroutes the two
+// kinds of globally-visible work its controllers perform:
+//
+//   - Mesh sends are staged into a per-shard outbox, stamped with the
+//     issuing event's (cycle, key), and replayed at the window barrier in
+//     the canonical event order — exactly the order the serial engine
+//     fires events in — which reproduces the serial network-queue
+//     reservation order and delivery keys (see FlushStagedSends).
+//   - Machine-wide statistics (the counters table, per-controller
+//     accumulators that Result sums, directory high-water marks) are
+//     recorded into a per-shard sim.Journal, stamped the same way, and
+//     applied at the barrier; commutativity of add and max makes the
+//     replay order-exact, and the stamps let the finish cut discard
+//     exactly the effects the serial engine never applied.
+//
+// Everything here preserves the hot-path allocation discipline: the
+// staging writes are guarded indexed stores into buffers whose headroom
+// PrepareShard (the cluster's cold per-event hook) maintains.
+
+// stagedSend is one mesh send deferred during a parallel window: the
+// message, its source-side extra latency, the (cycle, key) of the issuing
+// event — the position in the canonical event order at which the serial
+// engine would have reserved the network queues — and the delivery
+// counter consumed from the sender's key stream at staging time, so the
+// delivery event gets the same key the serial engine would have assigned
+// at send time.
+type stagedSend struct {
+	at     sim.Cycle
+	kOwner int32  // issuing event's key owner
+	kCnt   uint64 // issuing event's key counter
+	dCnt   uint64 // delivery event's key counter (owner is m.Src)
+	extra  sim.Cycle
+	m      Msg
+}
+
+// sendStage is one shard's outbox of deferred sends. buf is written with
+// guarded indexed stores (never append) so the hot send path cannot
+// allocate; PrepareShard keeps the headroom ahead of the writes.
+type sendStage struct {
+	buf []stagedSend
+	n   int
+}
+
+// parState holds the fabric's parallel-mode plumbing. Nil in serial mode;
+// every hot hook branches on that nil exactly once.
+type parState struct {
+	engines []*sim.Engine
+	shardOf []int32 // node -> shard index
+	outbox  []sendStage
+	journal []sim.Journal
+	merge   []int // per-shard cursor scratch for FlushStagedSends
+
+	// flightFree[s] is shard s's free list of delivery receivers. The
+	// ownership alternates with the cluster's phases: during a window
+	// only shard s touches it (parFlight.Fire pushes spent entries), at a
+	// barrier only the merge goroutine (FlushStagedSends pops for reuse);
+	// the cluster's barrier happens-before publishes each side's writes
+	// to the other. Reuse matters: one receiver per message would
+	// otherwise make the merge allocate millions of times per run.
+	flightFree [][]*parFlight
+
+	// sendHeadroom is the outbox capacity PrepareShard guarantees ahead
+	// of each event: a single event can broadcast an invalidation to
+	// every sharer (at most Nodes messages) plus replies and
+	// acknowledgments, so 2*Nodes+16 bounds one event's sends.
+	sendHeadroom int
+
+	// onThreadDone, when non-nil, is the machine's finish bookkeeping
+	// hook, called (on the owning shard's worker) whenever an
+	// application thread retires.
+	onThreadDone func(mem.NodeID)
+}
+
+// journalHeadroom is the per-event journal capacity PrepareShard
+// guarantees: a broadcast invalidation event records one counter entry
+// per message plus a handful of accumulator entries, all folded into the
+// outbox-sized bound below via max(64, sendHeadroom).
+const journalHeadroom = 64
+
+// EnableParallel switches the fabric into parallel mode: node n's events
+// run on engines[shardOf[n]], sends and statistics are staged per shard,
+// and onThreadDone (may be nil) observes thread completion for the
+// machine's finish cut. Must be called before any simulated work, and the
+// restrictions machine.Config.Validate enforces (no tracing, no custom
+// software, no fault injection) must hold — the staging paths skip those
+// hooks entirely.
+func (f *Fabric) EnableParallel(engines []*sim.Engine, shardOf []int32, onThreadDone func(mem.NodeID)) {
+	s := len(engines)
+	hr := journalHeadroom
+	if n := 2*len(shardOf) + 16; n > hr {
+		hr = n
+	}
+	f.par = &parState{
+		engines:      engines,
+		shardOf:      shardOf,
+		outbox:       make([]sendStage, s),
+		journal:      make([]sim.Journal, s),
+		merge:        make([]int, s),
+		flightFree:   make([][]*parFlight, s),
+		sendHeadroom: 2*len(shardOf) + 16,
+		onThreadDone: onThreadDone,
+	}
+}
+
+// Parallel reports whether the fabric is in parallel mode.
+func (f *Fabric) Parallel() bool { return f.par != nil }
+
+// Eng returns the engine that owns node n's events: the shard engine in
+// parallel mode, the machine's single engine otherwise. Every controller
+// scheduling call and clock read goes through it; the one predictable
+// branch is the entire serial-mode cost of the parallel engine.
+//
+//swex:hotpath
+func (f *Fabric) Eng(n mem.NodeID) *sim.Engine {
+	if f.par == nil {
+		return f.Engine
+	}
+	return f.par.engines[f.par.shardOf[n]]
+}
+
+// ThreadDone tells the fabric an application thread on node n has
+// retired. Serial mode ignores it; parallel mode forwards to the
+// machine's finish bookkeeping.
+//
+//swex:hotpath
+func (f *Fabric) ThreadDone(n mem.NodeID) {
+	if f.par != nil && f.par.onThreadDone != nil {
+		f.par.onThreadDone(n)
+	}
+}
+
+// count increments a named counter on node n's behalf: directly in serial
+// mode, journaled at the issuing event's (cycle, key) in parallel mode.
+//
+//swex:hotpath
+func (f *Fabric) count(n mem.NodeID, name string) {
+	if f.par == nil {
+		f.Counters.Inc(name)
+		return
+	}
+	e := f.par.engines[f.par.shardOf[n]]
+	o, c := e.CurKey()
+	f.par.journal[f.par.shardOf[n]].Count(e.Now(), o, c, name, 1)
+}
+
+// countN is count with an explicit delta.
+//
+//swex:hotpath
+func (f *Fabric) countN(n mem.NodeID, name string, delta uint64) {
+	if f.par == nil {
+		f.Counters.Addc(name, delta)
+		return
+	}
+	e := f.par.engines[f.par.shardOf[n]]
+	o, c := e.CurKey()
+	f.par.journal[f.par.shardOf[n]].Count(e.Now(), o, c, name, delta)
+}
+
+// statU64 adds delta to a Result-visible accumulator owned by node n:
+// directly in serial mode, journaled in parallel mode so the finish cut
+// can discard overrun increments.
+//
+//swex:hotpath
+func (f *Fabric) statU64(n mem.NodeID, p *uint64, delta uint64) {
+	if f.par == nil {
+		*p += delta
+		return
+	}
+	e := f.par.engines[f.par.shardOf[n]]
+	o, c := e.CurKey()
+	f.par.journal[f.par.shardOf[n]].AddU64(e.Now(), o, c, p, delta)
+}
+
+// StatAddCycle adds delta to a Result-visible cycle accumulator owned by
+// node n (see statU64). Exported because the watchdog trap scheduler
+// lives outside this package and the machine wires its handler-busy
+// accounting through this hook.
+//
+//swex:hotpath
+func (f *Fabric) StatAddCycle(n mem.NodeID, p *sim.Cycle, delta sim.Cycle) {
+	if f.par == nil {
+		*p += delta
+		return
+	}
+	e := f.par.engines[f.par.shardOf[n]]
+	o, c := e.CurKey()
+	f.par.journal[f.par.shardOf[n]].AddCycle(e.Now(), o, c, p, delta)
+}
+
+// statMax folds candidate into a Result-visible high-water mark owned by
+// node n (see statU64; max commutes like add, so barrier replay is exact).
+//
+//swex:hotpath
+func (f *Fabric) statMax(n mem.NodeID, p *int, candidate int) {
+	if f.par == nil {
+		if candidate > *p {
+			*p = candidate
+		}
+		return
+	}
+	e := f.par.engines[f.par.shardOf[n]]
+	o, c := e.CurKey()
+	f.par.journal[f.par.shardOf[n]].MaxInt(e.Now(), o, c, p, candidate)
+}
+
+// PrepareShard is the cluster's cold per-event hook for shard s: it
+// re-ensures the outbox and journal headroom one event can consume, so
+// the event's own staging writes are guarded indexed stores that never
+// allocate. Runs on shard s's worker goroutine, between events.
+func (f *Fabric) PrepareShard(s int) {
+	ob := &f.par.outbox[s]
+	if need := ob.n + f.par.sendHeadroom; need > len(ob.buf) {
+		grown := make([]stagedSend, need+need/2+64)
+		copy(grown, ob.buf[:ob.n])
+		ob.buf = grown
+	}
+	hr := journalHeadroom
+	if f.par.sendHeadroom > hr {
+		hr = f.par.sendHeadroom
+	}
+	f.par.journal[s].Ensure(hr)
+}
+
+// OutboxLen reports how many sends shard s has staged. Barrier-only.
+func (f *Fabric) OutboxLen(s int) int { return f.par.outbox[s].n }
+
+// JournalLen reports how many entries shard s's journal holds.
+// Barrier-only.
+func (f *Fabric) JournalLen(s int) int { return f.par.journal[s].Len() }
+
+// ApplyJournal replays shard s's journal entries at or before cut into
+// the shared statistics (see sim.Journal.Apply). Barrier-only.
+func (f *Fabric) ApplyJournal(s int, cut sim.Cut) {
+	f.par.journal[s].Apply(cut, f.Counters.Addc)
+}
+
+// parFlight is the delivery receiver for a staged send merged at a window
+// barrier. Unlike flight it is not registered in the in-flight table (the
+// registry serves the coherence checker and model checker, both excluded
+// from parallel mode); it is pooled per destination shard instead of in
+// the fabric's shared free list, because a shared pool would race between
+// the barrier (which acquires) and the shards (which fire and release).
+type parFlight struct {
+	f     *Fabric
+	shard int32 // destination shard: which flightFree list Fire returns to
+	m     Msg
+}
+
+// Fire delivers the message to the destination controller, on the
+// destination's shard engine, and returns itself to the shard's free
+// list. The append is this file's one hot-path growth site: the list
+// reaches the run's peak in-flight message count early and then reuses
+// its backing array for the rest of the run.
+//
+//swex:hotpath
+func (fl *parFlight) Fire() {
+	if fl.m.Kind.ToHome() {
+		fl.f.homes[fl.m.Dst].Deliver(fl.m)
+	} else {
+		fl.f.caches[fl.m.Dst].Deliver(fl.m)
+	}
+	p := fl.f.par
+	p.flightFree[fl.shard] = append(p.flightFree[fl.shard], fl)
+}
+
+// FlushStagedSends replays every staged send at or before cut, in the
+// canonical event order of the issuing events — ascending (cycle, key
+// owner, key counter), the exact order the serial engine fires events in —
+// reserving the network queues as of each send's issue cycle and
+// scheduling its delivery on the destination shard's engine with the
+// delivery key consumed at staging time. Reservation order, delivery
+// cycles, and delivery keys therefore all match the serial run; two sends
+// from the same event share its key and replay in program order because
+// the per-shard merge is stable. Staged sends after the cut (the finish
+// overrun) are discarded; either way the outboxes are reset. A normal
+// barrier passes sim.MaxCut. Barrier-only: the caller must hold all
+// shards quiescent.
+//
+// Deliveries never land in a shard's past: a send issued at cycle t is
+// delivered no earlier than t plus the mesh lookahead, which is at or
+// beyond the window boundary every shard stopped at — the lookahead
+// soundness argument of DESIGN.md §14.
+func (f *Fabric) FlushStagedSends(cut sim.Cut) {
+	p := f.par
+	cur := p.merge
+	for s := range cur {
+		cur[s] = 0
+	}
+	for {
+		best := -1
+		var bestAt sim.Cycle
+		var bestO int32
+		var bestC uint64
+		for s := range p.outbox {
+			if cur[s] >= p.outbox[s].n {
+				continue
+			}
+			st := &p.outbox[s].buf[cur[s]]
+			if best < 0 || sim.KeyLess(st.at, st.kOwner, st.kCnt, bestAt, bestO, bestC) {
+				best, bestAt, bestO, bestC = s, st.at, st.kOwner, st.kCnt
+			}
+		}
+		if best < 0 {
+			break
+		}
+		st := &p.outbox[best].buf[cur[best]]
+		cur[best]++
+		if !cut.Includes(st.at, st.kOwner, st.kCnt) {
+			continue
+		}
+		// The serial send path's accounting, minus the hooks parallel
+		// mode excludes (fault injection, tracing, the in-flight
+		// registry).
+		f.Counters.Inc(msgCounterNames[st.m.Kind])
+		done := f.Net.ReserveAt(st.at, int(st.m.Src), int(st.m.Dst), f.Timing.Flits(st.m.Kind), st.extra, nil)
+		dst := p.shardOf[st.m.Dst]
+		var fl *parFlight
+		if free := p.flightFree[dst]; len(free) > 0 {
+			fl = free[len(free)-1]
+			free[len(free)-1] = nil
+			p.flightFree[dst] = free[:len(free)-1]
+			fl.m = st.m
+		} else {
+			fl = &parFlight{f: f, shard: dst, m: st.m}
+		}
+		p.engines[dst].KeyedAtCall(int32(st.m.Src), st.dCnt, done, fl, fl)
+	}
+	for s := range p.outbox {
+		p.outbox[s].n = 0
+	}
+}

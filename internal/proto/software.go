@@ -1,8 +1,6 @@
 package proto
 
 import (
-	"sort"
-
 	"swex/internal/mem"
 	"swex/internal/sim"
 )
@@ -70,49 +68,56 @@ type TrapScheduler interface {
 }
 
 // NopSoftware is a Software that charges a fixed cost (zero by default)
-// and remembers sharers in a plain map. It stands in for protocol software
-// in hardware-focused unit tests; the real implementations live in
-// internal/ext.
+// and remembers sharers as sorted per-block lists. It stands in for
+// protocol software in hardware-focused unit tests; the real
+// implementations live in internal/ext.
 type NopSoftware struct {
-	sets map[mem.Block]map[mem.NodeID]bool
+	sets map[mem.Block][]mem.NodeID // ascending node order per block
 	// FixedCost is charged for every handler invocation.
 	FixedCost sim.Cycle
 }
 
 // NewNopSoftware returns an empty zero-cost software implementation.
 func NewNopSoftware() *NopSoftware {
-	return &NopSoftware{sets: make(map[mem.Block]map[mem.NodeID]bool)}
+	return &NopSoftware{sets: make(map[mem.Block][]mem.NodeID)}
+}
+
+// add records id in b's sharer list, keeping the list sorted and
+// duplicate-free.
+func (s *NopSoftware) add(b mem.Block, id mem.NodeID) {
+	set := s.sets[b]
+	i := 0
+	for i < len(set) && set[i] < id {
+		i++
+	}
+	if i < len(set) && set[i] == id {
+		return
+	}
+	set = append(set, 0)
+	copy(set[i+1:], set[i:])
+	set[i] = id
+	s.sets[b] = set
 }
 
 // ReadOverflow implements Software at the fixed cost.
 func (s *NopSoftware) ReadOverflow(b mem.Block, drained []mem.NodeID, r mem.NodeID) sim.Cycle {
-	set := s.sets[b]
-	if set == nil {
-		set = make(map[mem.NodeID]bool)
-		s.sets[b] = set
-	}
 	for _, d := range drained {
-		set[d] = true
+		s.add(b, d)
 	}
-	set[r] = true
+	s.add(b, r)
 	return s.FixedCost
 }
 
 // ReadBatched implements Software at a quarter of the fixed cost.
 func (s *NopSoftware) ReadBatched(b mem.Block, r mem.NodeID) sim.Cycle {
-	s.ReadOverflow(b, nil, r)
+	s.add(b, r)
 	return s.FixedCost / 4
 }
 
-// SharersOf implements Software.
+// SharersOf implements Software. The returned slice is the live list;
+// callers only read it.
 func (s *NopSoftware) SharersOf(b mem.Block) []mem.NodeID {
-	set := s.sets[b]
-	out := make([]mem.NodeID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return s.sets[b]
 }
 
 // WriteFault implements Software at the fixed cost.

@@ -1,0 +1,324 @@
+// Parallel extension of the discrete-event engine: a Cluster runs one
+// engine per shard on persistent worker goroutines, synchronized by
+// conservative time windows, and a Journal defers result-visible side
+// effects so they can be applied in a deterministic order at window
+// barriers. DESIGN.md §14 states the full protocol and its determinism
+// argument; the short form:
+//
+//   - Shards only interact through the mesh, and every mesh message takes
+//     at least the lookahead L to deliver. Windows of width L are
+//     therefore safe: no event fired inside a window can schedule work
+//     for another shard inside the same window.
+//   - During a window, shards touch only shard-local state. Cross-shard
+//     effects (mesh sends) and globally-visible statistics are staged
+//     into per-shard buffers stamped with the issuing event's (cycle,
+//     key) position in the canonical event order.
+//   - At each barrier a single goroutine merges the staged work in that
+//     canonical order — which the owned keying discipline (sim.go) makes
+//     identical to the serial engine's firing order — so the merged
+//     machine state, and every byte of output derived from it, matches a
+//     serial run.
+//
+// Within a window each shard is an ordinary single-threaded Engine, and
+// the barrier merge runs on one goroutine, so no execution order depends
+// on the Go scheduler: the worker pool changes wall-clock time, never
+// simulated behavior.
+package sim
+
+import "sync"
+
+// ---------------------------------------------------------------- Journal
+
+// Cut identifies a point in the canonical event order: a cycle plus the
+// key of an event at that cycle. Everything the shards stage is stamped
+// with the issuing event's (cycle, key); a Cut then selects exactly the
+// staged work the serial engine would have performed by the time that
+// event finished. MaxCut selects everything.
+type Cut struct {
+	// At is the cut event's firing cycle.
+	At Cycle
+	// Owner is the cut event's key owner.
+	Owner int32
+	// Cnt is the cut event's key counter.
+	Cnt uint64
+}
+
+// MaxCut is the cut that includes every staged entry; non-final barriers
+// use it because every surviving thread finishes at or after the next
+// window, so nothing staged so far can be overrun.
+var MaxCut = Cut{At: ^Cycle(0), Owner: unkeyedOwner, Cnt: ^uint64(0)}
+
+// Includes reports whether an entry stamped (at, owner, cnt) is at or
+// before the cut in the canonical event order.
+func (c Cut) Includes(at Cycle, owner int32, cnt uint64) bool {
+	if at != c.At {
+		return at < c.At
+	}
+	if owner != c.Owner {
+		return owner < c.Owner
+	}
+	return cnt <= c.Cnt
+}
+
+// KeyLess reports whether event-order position (atA, ownerA, cntA) comes
+// strictly before (atB, ownerB, cntB) in the canonical order the engines
+// fire events in: cycle, then key owner, then key counter. Barrier merges
+// use it to interleave staged work from different shards exactly as the
+// serial engine would have performed it.
+func KeyLess(atA Cycle, ownerA int32, cntA uint64, atB Cycle, ownerB int32, cntB uint64) bool {
+	if atA != atB {
+		return atA < atB
+	}
+	if ownerA != ownerB {
+		return ownerA < ownerB
+	}
+	return cntA < cntB
+}
+
+// journalEntry is one deferred side effect: an add to a uint64 or Cycle
+// accumulator, a max into an int high-water mark, or a named-counter
+// delta, stamped with the cycle and event key at which the serial engine
+// would have applied it.
+type journalEntry struct {
+	at    Cycle
+	owner int32  // issuing event's key owner
+	cnt   uint64 // issuing event's key counter
+	u64   *uint64
+	cyc   *Cycle
+	maxi  *int
+	name  string // named-counter key ("" if unused)
+	delta uint64 // amount to add, or the max candidate
+}
+
+// Journal records result-visible side effects during a parallel window so
+// they can be applied at the barrier instead of during execution. Two
+// problems force the deferral. First, finish overrun: the serial engine
+// stops dead at the finishing event, while a parallel window runs every
+// shard to the window's end, so effects from the overrun must be
+// discardable — the barrier applies only entries at or before the finish
+// cut. Second, shared accumulators: machine-wide counters (the stats
+// table, directory high-water marks) would be data races if shards wrote
+// them mid-window. Deferred adds are safe to replay in any order because
+// addition commutes, and maxes because max is associative and
+// commutative, so the barrier's replay reproduces the serial totals
+// exactly regardless of how the entries interleaved across shards.
+//
+// The recording methods are hot: they store into preallocated buffers
+// with guarded indexed writes and never allocate. Ensure is the cold
+// companion, called from the cluster's per-event prepare hook to keep
+// headroom ahead of the writes.
+type Journal struct {
+	buf []journalEntry
+	n   int
+}
+
+// Len reports how many entries are currently recorded.
+func (j *Journal) Len() int { return j.n }
+
+// Ensure grows the journal's buffer so at least headroom more entries fit
+// without allocation. Cold path: called between events, never during one.
+func (j *Journal) Ensure(headroom int) {
+	if need := j.n + headroom; need > len(j.buf) {
+		grown := make([]journalEntry, need+need/2+64)
+		copy(grown, j.buf[:j.n])
+		j.buf = grown
+	}
+}
+
+// slot returns the next entry index, panicking if Ensure's headroom
+// contract was violated.
+func (j *Journal) slot() int {
+	if j.n >= len(j.buf) {
+		panic("sim: journal overflow: Ensure headroom too small for one event")
+	}
+	i := j.n
+	j.n++
+	return i
+}
+
+// AddU64 records a deferred add of delta to *p by the event at (at, owner,
+// cnt).
+func (j *Journal) AddU64(at Cycle, owner int32, cnt uint64, p *uint64, delta uint64) {
+	i := j.slot()
+	j.buf[i] = journalEntry{at: at, owner: owner, cnt: cnt, u64: p, delta: delta}
+}
+
+// AddCycle records a deferred add of delta to *p (see AddU64).
+func (j *Journal) AddCycle(at Cycle, owner int32, cnt uint64, p *Cycle, delta Cycle) {
+	i := j.slot()
+	j.buf[i] = journalEntry{at: at, owner: owner, cnt: cnt, cyc: p, delta: uint64(delta)}
+}
+
+// MaxInt records a deferred max of candidate into *p (see AddU64).
+func (j *Journal) MaxInt(at Cycle, owner int32, cnt uint64, p *int, candidate int) {
+	i := j.slot()
+	j.buf[i] = journalEntry{at: at, owner: owner, cnt: cnt, maxi: p, delta: uint64(candidate)}
+}
+
+// Count records a deferred named-counter add (see AddU64). The barrier
+// resolves the name through the counter function passed to Apply, so the
+// hot path never touches the counters map.
+func (j *Journal) Count(at Cycle, owner int32, cnt uint64, name string, delta uint64) {
+	i := j.slot()
+	j.buf[i] = journalEntry{at: at, owner: owner, cnt: cnt, name: name, delta: delta}
+}
+
+// Apply replays every entry at or before cut in the canonical event
+// order, then resets the journal. count receives named-counter deltas;
+// the pointer entries are applied directly. A normal barrier passes
+// MaxCut (everything); the finishing barrier passes the finish cut so
+// effects the serial engine never applied are discarded with the rest of
+// the overrun.
+func (j *Journal) Apply(cut Cut, count func(name string, delta uint64)) {
+	for i := 0; i < j.n; i++ {
+		e := &j.buf[i]
+		if !cut.Includes(e.at, e.owner, e.cnt) {
+			continue
+		}
+		switch {
+		case e.u64 != nil:
+			*e.u64 += e.delta
+		case e.cyc != nil:
+			*e.cyc += Cycle(e.delta)
+		case e.maxi != nil:
+			if c := int(e.delta); c > *e.maxi {
+				*e.maxi = c
+			}
+		default:
+			count(e.name, e.delta)
+		}
+	}
+	j.n = 0
+}
+
+// ---------------------------------------------------------------- Cluster
+
+// Cluster drives one Engine per shard through lockstep time windows on a
+// pool of persistent worker goroutines. The caller alternates
+// RunWindow(end) with its own barrier work (merging staged cross-shard
+// messages, applying journals); the cluster guarantees that when
+// RunWindow returns, every shard has fired all its events below end and
+// no worker is touching shard state.
+//
+// Memory model: the per-worker channel send in RunWindow publishes the
+// caller's barrier-time writes to the worker, and the WaitGroup
+// completion publishes the worker's window-time writes back to the
+// caller, so the race detector sees a clean happens-before chain and —
+// more importantly — the merged state each barrier reads is exactly the
+// state the shards wrote.
+type Cluster struct {
+	engines []*Engine
+	prepare []func() // per-shard cold headroom hook (may be nil)
+	work    []chan Cycle
+	wg      sync.WaitGroup
+	stopped bool
+}
+
+// NewCluster starts one persistent worker goroutine per engine. prepare,
+// when non-nil, holds one per-shard hook passed to Engine.RunWindow (see
+// Journal.Ensure); it may be nil, or contain nils, for shards with no
+// staging buffers. Stop must be called to join the workers.
+func NewCluster(engines []*Engine, prepare []func()) *Cluster {
+	c := &Cluster{
+		engines: engines,
+		prepare: prepare,
+		work:    make([]chan Cycle, len(engines)),
+	}
+	for i := range engines {
+		//lint:allow determinism(window handoff channel: shards are synchronized by barriers, and within a window each engine is single-threaded, so scheduling order cannot affect simulated behavior)
+		c.work[i] = make(chan Cycle, 1)
+		//lint:allow determinism(persistent window worker: runs one shard's engine strictly between barriers; the barrier merge serializes all cross-shard interaction in a canonical order)
+		go c.worker(i)
+	}
+	return c
+}
+
+// worker is the persistent per-shard loop: receive a window end, run the
+// shard's engine to it, signal the barrier.
+func (c *Cluster) worker(i int) {
+	var prep func()
+	if c.prepare != nil {
+		prep = c.prepare[i]
+	}
+	//lint:allow determinism(window handoff receive: see NewCluster)
+	for end := range c.work[i] {
+		c.engines[i].RunWindow(end, prep)
+		c.wg.Done()
+	}
+}
+
+// RunWindow runs every shard's engine through the window ending at end
+// (exclusive) and returns once all shards are quiescent. Shards with no
+// events inside the window are not dispatched, and the last active shard
+// always runs inline on the calling goroutine — with one active shard
+// (the common case in low-activity phases) no handoff happens at all,
+// and with several the barrier goroutine does a shard's worth of work
+// instead of parking while it waits.
+func (c *Cluster) RunWindow(end Cycle) {
+	active, last := 0, -1
+	for i, e := range c.engines {
+		if at, ok := e.NextAt(); ok && at < end {
+			active++
+			last = i
+		}
+	}
+	if active == 0 {
+		return
+	}
+	if active > 1 {
+		c.wg.Add(active - 1)
+		for i, e := range c.engines {
+			if i == last {
+				continue
+			}
+			if at, ok := e.NextAt(); ok && at < end {
+				//lint:allow determinism(window handoff send: see NewCluster)
+				c.work[i] <- end
+			}
+		}
+	}
+	var prep func()
+	if c.prepare != nil {
+		prep = c.prepare[last]
+	}
+	c.engines[last].RunWindow(end, prep)
+	if active > 1 {
+		c.wg.Wait()
+	}
+}
+
+// NextAt reports the earliest pending event cycle across all shards and
+// whether any shard has pending work. Callable only at a barrier.
+func (c *Cluster) NextAt() (Cycle, bool) {
+	var min Cycle
+	found := false
+	for _, e := range c.engines {
+		if at, ok := e.NextAt(); ok && (!found || at < min) {
+			min, found = at, true
+		}
+	}
+	return min, found
+}
+
+// Pending reports the total pending events across all shards. Callable
+// only at a barrier.
+func (c *Cluster) Pending() int {
+	total := 0
+	for _, e := range c.engines {
+		total += e.Pending()
+	}
+	return total
+}
+
+// Stop joins the worker goroutines. The cluster is unusable afterwards.
+// Stop is idempotent.
+func (c *Cluster) Stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	for _, ch := range c.work {
+		//lint:allow determinism(worker shutdown: close ends the per-shard worker loop after the final barrier; no simulated work remains)
+		close(ch)
+	}
+}

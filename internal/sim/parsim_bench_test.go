@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The cluster benchmarks isolate the window scheduler's overlap from the
+// simulator's CPU appetite, exactly like the sweep pool's overlap
+// benchmarks (internal/sweep/bench_test.go): a fixed total of eight
+// events, each dwelling in time.Sleep, is split across the shards, so the
+// measured wall clock reflects only how well RunWindow overlaps shard
+// execution. Sleep does not contend for cores, so the overlap shows even
+// on a single-core container — the honest parallel-engine speedup
+// measurement there, since CPU-bound shards cannot overlap without real
+// cores (see EXPERIMENTS.md). Expected ratio of the serial and S-shard
+// variants: S, minus the per-window handoff cost.
+func benchmarkClusterOverlap(b *testing.B, shards int) {
+	const totalEvents = 8
+	const dwell = 10 * time.Millisecond
+	perShard := totalEvents / shards
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		engines := make([]*Engine, shards)
+		for s := range engines {
+			e := NewEngine()
+			for k := 0; k < perShard; k++ {
+				e.At(Cycle(k+1), func() { time.Sleep(dwell) })
+			}
+			engines[s] = e
+		}
+		c := NewCluster(engines, nil)
+		c.RunWindow(totalEvents + 1)
+		c.Stop()
+	}
+}
+
+func BenchmarkParsimOverlapSerial(b *testing.B)  { benchmarkClusterOverlap(b, 1) }
+func BenchmarkParsimOverlapShards2(b *testing.B) { benchmarkClusterOverlap(b, 2) }
+func BenchmarkParsimOverlapShards4(b *testing.B) { benchmarkClusterOverlap(b, 4) }
+func BenchmarkParsimOverlapShards8(b *testing.B) { benchmarkClusterOverlap(b, 8) }

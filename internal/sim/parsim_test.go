@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// ------------------------------------------------------------ Cut, KeyLess
+
+func TestCutIncludes(t *testing.T) {
+	cut := Cut{At: 10, Owner: 3, Cnt: 7}
+	cases := []struct {
+		at    Cycle
+		owner int32
+		cnt   uint64
+		want  bool
+	}{
+		{9, 100, 100, true}, // earlier cycle: always in
+		{11, 0, 0, false},   // later cycle: always out
+		{10, 2, 100, true},  // same cycle, smaller owner
+		{10, 4, 0, false},   // same cycle, larger owner
+		{10, 3, 6, true},    // same key owner, smaller cnt
+		{10, 3, 7, true},    // the cut event itself is included
+		{10, 3, 8, false},   // same key owner, larger cnt
+	}
+	for _, c := range cases {
+		if got := cut.Includes(c.at, c.owner, c.cnt); got != c.want {
+			t.Errorf("Includes(%d, %d, %d) = %v, want %v", c.at, c.owner, c.cnt, got, c.want)
+		}
+	}
+}
+
+func TestMaxCutIncludesEverything(t *testing.T) {
+	if !MaxCut.Includes(^Cycle(0), unkeyedOwner, ^uint64(0)) {
+		t.Error("MaxCut excludes the largest possible stamp")
+	}
+	if !MaxCut.Includes(0, 0, 0) {
+		t.Error("MaxCut excludes the smallest possible stamp")
+	}
+}
+
+func TestKeyLessOrder(t *testing.T) {
+	// Strictly ascending stamps in the canonical order.
+	stamps := []struct {
+		at    Cycle
+		owner int32
+		cnt   uint64
+	}{
+		{1, 5, 9}, {2, 0, 0}, {2, 0, 1}, {2, 1, 0}, {3, 0, 5},
+	}
+	for i := 1; i < len(stamps); i++ {
+		a, b := stamps[i-1], stamps[i]
+		if !KeyLess(a.at, a.owner, a.cnt, b.at, b.owner, b.cnt) {
+			t.Errorf("KeyLess(%v, %v) = false, want true", a, b)
+		}
+		if KeyLess(b.at, b.owner, b.cnt, a.at, a.owner, a.cnt) {
+			t.Errorf("KeyLess(%v, %v) = true, want false", b, a)
+		}
+	}
+	if KeyLess(2, 1, 3, 2, 1, 3) {
+		t.Error("KeyLess is not irreflexive")
+	}
+}
+
+// ---------------------------------------------------------------- Journal
+
+func TestJournalApply(t *testing.T) {
+	var j Journal
+	var u uint64
+	var cy Cycle
+	var hw int
+	counts := map[string]uint64{}
+
+	j.Ensure(8)
+	j.AddU64(1, 0, 0, &u, 3)
+	j.AddCycle(1, 0, 1, &cy, 5)
+	j.MaxInt(2, 0, 0, &hw, 9)
+	j.MaxInt(2, 0, 1, &hw, 4) // smaller candidate must not lower the mark
+	j.Count(2, 1, 0, "invals", 2)
+	if j.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", j.Len())
+	}
+	j.Apply(MaxCut, func(name string, delta uint64) { counts[name] += delta })
+	if u != 3 || cy != 5 || hw != 9 || counts["invals"] != 2 {
+		t.Errorf("after Apply: u=%d cy=%d hw=%d invals=%d", u, cy, hw, counts["invals"])
+	}
+	if j.Len() != 0 {
+		t.Errorf("Apply did not reset the journal: Len = %d", j.Len())
+	}
+}
+
+func TestJournalApplyRespectsCut(t *testing.T) {
+	var j Journal
+	var kept, dropped uint64
+	j.Ensure(4)
+	j.AddU64(5, 0, 0, &kept, 1)
+	j.AddU64(5, 0, 1, &dropped, 1) // after the cut: finish overrun
+	j.AddU64(6, 0, 0, &dropped, 1)
+	j.Apply(Cut{At: 5, Owner: 0, Cnt: 0}, nil)
+	if kept != 1 {
+		t.Errorf("entry at the cut not applied: kept = %d", kept)
+	}
+	if dropped != 0 {
+		t.Errorf("overrun entries applied: dropped = %d", dropped)
+	}
+}
+
+func TestJournalEnsureGrows(t *testing.T) {
+	var j Journal
+	var u uint64
+	for i := 0; i < 1000; i++ {
+		j.Ensure(1)
+		j.AddU64(Cycle(i), 0, uint64(i), &u, 1)
+	}
+	j.Apply(MaxCut, nil)
+	if u != 1000 {
+		t.Errorf("u = %d, want 1000", u)
+	}
+}
+
+func TestJournalOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("write past Ensure headroom did not panic")
+		}
+	}()
+	var j Journal
+	var u uint64
+	j.AddU64(0, 0, 0, &u, 1) // no Ensure: zero capacity
+}
+
+// ------------------------------------------------------------ owned keying
+
+// TestOwnedKeysMatchAcrossEngines is the keying half of the determinism
+// argument: with a shared stream slice installed, the key an event gets
+// depends only on its owner and how many events that owner has scheduled —
+// not on which engine schedules it. A serial engine and a sharded pair
+// consuming the same streams assign identical keys.
+func TestOwnedKeysMatchAcrossEngines(t *testing.T) {
+	record := func(schedule func(e *Engine, owner int, fired *[]int32)) []int32 {
+		var fired []int32
+		streams := make([]uint64, 2)
+		e := NewEngine()
+		e.SetStreams(streams)
+		schedule(e, 0, &fired)
+		schedule(e, 1, &fired)
+		e.Run(0)
+		return fired
+	}
+	sched := func(e *Engine, owner int, fired *[]int32) {
+		for i := 0; i < 3; i++ {
+			e.OwnedAt(owner, Cycle(10+i), nil, func() {
+				o, _ := e.CurKey()
+				*fired = append(*fired, o)
+			})
+		}
+	}
+	serial := record(sched)
+	want := []int32{0, 1, 0, 1, 0, 1} // per cycle: owner 0's event before owner 1's
+	if len(serial) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(serial), len(want))
+	}
+	for i := range want {
+		if serial[i] != want[i] {
+			t.Fatalf("serial firing owners = %v, want %v", serial, want)
+		}
+	}
+}
+
+// TestTakeCntPreconsumesStream pins the staging contract: TakeCnt at
+// staging time consumes the same stream OwnedAt would, so a deferred
+// KeyedAtCall lands exactly where the serial engine's immediate OwnedAt
+// would have.
+func TestTakeCntPreconsumesStream(t *testing.T) {
+	streams := make([]uint64, 1)
+	e := NewEngine()
+	e.SetStreams(streams)
+	if c := e.TakeCnt(0); c != 0 {
+		t.Fatalf("first TakeCnt = %d, want 0", c)
+	}
+	// The next owned schedule must see the consumed position.
+	var sawCnt uint64
+	e.OwnedAt(0, 1, nil, func() { _, sawCnt = e.CurKey() })
+	e.Run(0)
+	if sawCnt != 1 {
+		t.Errorf("OwnedAt after TakeCnt fired with cnt %d, want 1", sawCnt)
+	}
+}
+
+// TestKeyedAtCallFiresInKeyOrder checks that explicitly keyed events
+// interleave with owned events by key, not by scheduling call order.
+func TestKeyedAtCallFiresInKeyOrder(t *testing.T) {
+	streams := make([]uint64, 2)
+	e := NewEngine()
+	e.SetStreams(streams)
+	var order []int32
+	rec := func(tag int32) Caller { return callerFunc(func() { order = append(order, tag) }) }
+	// Schedule owner 1 first, then an explicitly keyed owner-0 event at the
+	// same cycle: the owner-0 key must fire first.
+	cnt1 := e.TakeCnt(1)
+	cnt0 := e.TakeCnt(0)
+	e.KeyedAtCall(1, cnt1, 5, nil, rec(1))
+	e.KeyedAtCall(0, cnt0, 5, nil, rec(0))
+	e.Run(0)
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Errorf("firing order = %v, want [0 1]", order)
+	}
+}
+
+// callerFunc adapts a closure to the Caller interface for tests.
+type callerFunc func()
+
+func (f callerFunc) Fire() { f() }
+
+// ---------------------------------------------------------------- Cluster
+
+// TestClusterRunsAllShardsToWindow drives two engines through windows and
+// checks every event below each boundary fires before RunWindow returns,
+// and none beyond it.
+func TestClusterRunsAllShardsToWindow(t *testing.T) {
+	a, b := NewEngine(), NewEngine()
+	var mu sync.Mutex
+	fired := map[string]bool{}
+	mark := func(name string) func() {
+		return func() { mu.Lock(); fired[name] = true; mu.Unlock() }
+	}
+	a.At(1, mark("a1"))
+	a.At(12, mark("a12"))
+	b.At(3, mark("b3"))
+	b.At(11, mark("b11"))
+
+	c := NewCluster([]*Engine{a, b}, nil)
+	defer c.Stop()
+
+	c.RunWindow(10)
+	if !fired["a1"] || !fired["b3"] {
+		t.Error("events inside the window did not fire")
+	}
+	if fired["a12"] || fired["b11"] {
+		t.Error("events beyond the window fired early")
+	}
+	if at, ok := c.NextAt(); !ok || at != 11 {
+		t.Errorf("NextAt = %d,%v, want 11,true", at, ok)
+	}
+	if n := c.Pending(); n != 2 {
+		t.Errorf("Pending = %d, want 2", n)
+	}
+	c.RunWindow(20)
+	if !fired["a12"] || !fired["b11"] {
+		t.Error("events in the second window did not fire")
+	}
+	if _, ok := c.NextAt(); ok {
+		t.Error("NextAt reports pending work on drained shards")
+	}
+}
+
+// TestClusterPrepareHookRuns checks the per-shard prepare hook runs before
+// events on that shard's engine — the cold headroom contract the staging
+// buffers rely on.
+func TestClusterPrepareHookRuns(t *testing.T) {
+	a, b := NewEngine(), NewEngine()
+	var prepA, prepB, firedA int
+	a.At(1, func() {
+		if prepA == 0 {
+			t.Error("shard A event fired before its prepare hook")
+		}
+		firedA++
+	})
+	a.At(2, func() { firedA++ })
+	b.At(1, func() {})
+	c := NewCluster([]*Engine{a, b}, []func(){
+		func() { prepA++ },
+		func() { prepB++ },
+	})
+	defer c.Stop()
+	c.RunWindow(10)
+	if prepA != 2 || firedA != 2 {
+		t.Errorf("shard A: prepare ran %d times for %d events, want 2/2", prepA, firedA)
+	}
+	if prepB != 1 {
+		t.Errorf("shard B: prepare ran %d times, want 1", prepB)
+	}
+}
+
+// TestClusterSingleActiveShardInline checks the one-active-shard window
+// runs on the calling goroutine (no handoff), which the low-activity
+// phases depend on for latency. Observable effect: the events still fire.
+func TestClusterSingleActiveShardInline(t *testing.T) {
+	a, b := NewEngine(), NewEngine()
+	n := 0
+	a.At(1, func() { n++ })
+	a.At(2, func() { n++ })
+	c := NewCluster([]*Engine{a, b}, nil)
+	defer c.Stop()
+	c.RunWindow(5)
+	if n != 2 {
+		t.Errorf("fired %d events, want 2", n)
+	}
+	// An empty window on drained shards is a no-op.
+	c.RunWindow(100)
+}
+
+func TestClusterStopIdempotent(t *testing.T) {
+	c := NewCluster([]*Engine{NewEngine()}, nil)
+	c.Stop()
+	c.Stop()
+}

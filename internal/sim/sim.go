@@ -7,8 +7,27 @@
 // (Section 3) depends on NWO's "deterministic behavior and non-intrusive
 // observation functions"; all controlled experiments in this repository
 // assume that re-running a configuration yields the identical cycle count.
-// The engine guarantees this by ordering events first by cycle, then by a
-// monotonically increasing sequence number assigned at scheduling time.
+// The engine guarantees this by a total event order: first by cycle, then
+// by an event key.
+//
+// Two keying disciplines exist, and they decide whether a simulation can
+// run on the conservative parallel engine (parsim.go, DESIGN.md §14):
+//
+//   - Unkeyed (At, After, AtCall, ...): the key is a per-engine sequence
+//     number assigned at scheduling time. Deterministic on one engine, but
+//     the tie order between same-cycle events depends on the global
+//     interleaving of scheduling calls — a property a sharded run cannot
+//     reproduce. Standalone engine users (the litmus harness, the model
+//     checker) use this form.
+//   - Owned (OwnedAt, OwnedAtCall, ... after SetStreams): the key is
+//     (owner, cnt) where owner is the model entity — here, the node — on
+//     whose behalf the event is scheduled and cnt is drawn from the
+//     owner's private counter stream. An owner's stream is consumed only
+//     by that owner's own deterministic execution, so every event's key is
+//     independent of how scheduling calls from different owners interleave.
+//     That interleaving-independence is what lets a parallel run reproduce
+//     the serial event order exactly; the machine uses owned scheduling for
+//     every event, serial or parallel.
 package sim
 
 import (
@@ -37,11 +56,20 @@ type Event func()
 // and schedules it with AtCall; a pointer stores into the event without
 // the closure allocation an Event capture costs, and without the boxing
 // an interface conversion of a non-pointer would cost.
-type Caller interface{ Fire() }
+type Caller interface {
+	// Fire runs the event's work when its cycle arrives.
+	Fire()
+}
+
+// unkeyedOwner is the owner value for unkeyed events. It is the maximum
+// int32, so unkeyed events sort after every owned event at the same cycle;
+// among themselves they keep scheduling order via the engine sequence.
+const unkeyedOwner = int32(^uint32(0) >> 1)
 
 type scheduledEvent struct {
 	at    Cycle
-	seq   uint64
+	owner int32  // key owner (node), or unkeyedOwner
+	cnt   uint64 // owner-stream position, or engine sequence when unkeyed
 	fire  Event  // closure form; nil when call is set
 	call  Caller // receiver form; nil when fire is set
 	tag   any    // optional inspection tag (see AtTagged)
@@ -65,7 +93,10 @@ func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
-	return h[i].seq < h[j].seq
+	if h[i].owner != h[j].owner {
+		return h[i].owner < h[j].owner
+	}
+	return h[i].cnt < h[j].cnt
 }
 
 func (h eventHeap) Swap(i, j int) {
@@ -98,6 +129,19 @@ type Engine struct {
 	events eventHeap
 	fired  uint64
 	free   []*scheduledEvent // released events awaiting reuse
+
+	// streams holds the per-owner key counters for owned scheduling (see
+	// the package comment). Nil until SetStreams; owned calls then fall
+	// back to unkeyed scheduling. In a parallel machine every shard engine
+	// shares one slice — each shard consumes only the counters of nodes
+	// whose code runs on it, so the sharing is race-free.
+	streams []uint64
+
+	// curOwner and curCnt are the key of the event currently firing,
+	// readable through CurKey while inside an event. Between events they
+	// hold the last fired event's key.
+	curOwner int32
+	curCnt   uint64
 
 	// Observer, when non-nil, is invoked after every dispatched event
 	// with the clock and the number of events still pending. It feeds
@@ -132,7 +176,7 @@ func (e *Engine) At(at Cycle, fn Event) EventID {
 // observers (the model checker's state-fingerprint layer) can enumerate
 // what is queued without being able to look inside the closures.
 func (e *Engine) AtTagged(at Cycle, tag any, fn Event) EventID {
-	ev := e.schedule(at, tag)
+	ev := e.scheduleUnkeyed(at, tag)
 	ev.fire = fn
 	return EventID{ev, ev.gen}
 }
@@ -142,7 +186,7 @@ func (e *Engine) AtTagged(at Cycle, tag any, fn Event) EventID {
 // the event slot comes from the engine's free list and the receiver is
 // caller-owned, so steady-state scheduling allocates nothing.
 func (e *Engine) AtCall(at Cycle, tag any, c Caller) EventID {
-	ev := e.schedule(at, tag)
+	ev := e.scheduleUnkeyed(at, tag)
 	ev.call = c
 	return EventID{ev, ev.gen}
 }
@@ -152,10 +196,18 @@ func (e *Engine) AfterCall(delay Cycle, tag any, c Caller) EventID {
 	return e.AtCall(e.now+delay, tag, c)
 }
 
+// scheduleUnkeyed acquires an event slot keyed by the engine-global
+// sequence: the fallback discipline for engine users that never install
+// key streams (see the package comment).
+func (e *Engine) scheduleUnkeyed(at Cycle, tag any) *scheduledEvent {
+	return e.schedule(at, unkeyedOwner, e.seq, tag)
+}
+
 // schedule acquires an event slot (reusing a released one when possible)
-// and enqueues it. Scheduling in the past panics: it indicates a protocol
-// bug, and silently reordering time would destroy determinism.
-func (e *Engine) schedule(at Cycle, tag any) *scheduledEvent {
+// and enqueues it under the given canonical key. Scheduling in the past
+// panics: it indicates a protocol bug, and silently reordering time would
+// destroy determinism.
+func (e *Engine) schedule(at Cycle, owner int32, cnt uint64, tag any) *scheduledEvent {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at cycle %d, now %d", at, e.now))
 	}
@@ -167,10 +219,99 @@ func (e *Engine) schedule(at Cycle, tag any) *scheduledEvent {
 	} else {
 		ev = new(scheduledEvent)
 	}
-	ev.at, ev.seq, ev.tag = at, e.seq, tag
+	ev.at, ev.owner, ev.cnt, ev.tag = at, owner, cnt, tag
 	e.seq++
 	heap.Push(&e.events, ev)
 	return ev
+}
+
+// SetStreams installs the per-owner key counter streams, switching the
+// Owned scheduling calls from the unkeyed fallback to canonical
+// (owner, cnt) keys. The machine installs one slice, indexed by node, on
+// every engine of a run — one engine serially, all shard engines in
+// parallel — so both modes assign identical keys.
+func (e *Engine) SetStreams(streams []uint64) { e.streams = streams }
+
+// TakeCnt consumes and returns the next position of owner's key counter
+// stream, for callers that stage an event during one window and schedule
+// it later with KeyedAtCall. Consuming at staging time (rather than at the
+// deferred scheduling call) keeps the stream position identical to a
+// serial run, where the event is scheduled on the spot. Falls back to the
+// engine sequence when no streams are installed.
+//
+//swex:hotpath
+func (e *Engine) TakeCnt(owner int) uint64 {
+	if e.streams == nil {
+		c := e.seq
+		e.seq++
+		return c
+	}
+	c := e.streams[owner]
+	e.streams[owner]++
+	return c
+}
+
+// CurKey returns the key of the event currently firing (or the last fired
+// event, between events). Staging paths stamp deferred work with it so a
+// barrier merge can reproduce the exact serial order of the issuing
+// events.
+//
+//swex:hotpath
+func (e *Engine) CurKey() (owner int32, cnt uint64) { return e.curOwner, e.curCnt }
+
+// ownedKey resolves the key for an owned scheduling call: the owner's
+// next stream position, or the unkeyed fallback when no streams are
+// installed (standalone engine users never install streams, and their
+// owned calls then behave exactly like the unkeyed forms).
+//
+//swex:hotpath
+func (e *Engine) ownedKey(owner int) (int32, uint64) {
+	if e.streams == nil {
+		return unkeyedOwner, e.seq
+	}
+	c := e.streams[owner]
+	e.streams[owner]++
+	return int32(owner), c
+}
+
+// OwnedAt schedules fn at the absolute cycle at with a canonical
+// (owner, cnt) key drawn from owner's stream (see the package comment).
+//
+//swex:hotpath
+func (e *Engine) OwnedAt(owner int, at Cycle, tag any, fn Event) EventID {
+	o, c := e.ownedKey(owner)
+	ev := e.schedule(at, o, c, tag)
+	ev.fire = fn
+	return EventID{ev, ev.gen}
+}
+
+// OwnedAfter schedules fn delay cycles from now with a canonical key (see
+// OwnedAt).
+//
+//swex:hotpath
+func (e *Engine) OwnedAfter(owner int, delay Cycle, tag any, fn Event) EventID {
+	return e.OwnedAt(owner, e.now+delay, tag, fn)
+}
+
+// OwnedAtCall schedules a preallocated Caller at the absolute cycle at
+// with a canonical key (see OwnedAt and AtCall).
+//
+//swex:hotpath
+func (e *Engine) OwnedAtCall(owner int, at Cycle, tag any, c Caller) EventID {
+	o, cnt := e.ownedKey(owner)
+	ev := e.schedule(at, o, cnt, tag)
+	ev.call = c
+	return EventID{ev, ev.gen}
+}
+
+// KeyedAtCall schedules a Caller with an explicit pre-assigned key, taken
+// earlier with TakeCnt. The parallel barrier merge uses it to schedule
+// staged deliveries with the key the serial engine would have assigned at
+// send time.
+func (e *Engine) KeyedAtCall(owner int32, cnt uint64, at Cycle, tag any, c Caller) EventID {
+	ev := e.schedule(at, owner, cnt, tag)
+	ev.call = c
+	return EventID{ev, ev.gen}
 }
 
 // release returns a fired event slot to the free list, invalidating any
@@ -194,12 +335,14 @@ func (e *Engine) AfterTagged(delay Cycle, tag any, fn Event) EventID {
 // TaggedEvent describes one pending event for inspection: its firing cycle
 // and the tag it was scheduled with (nil for untagged events).
 type TaggedEvent struct {
-	At  Cycle
+	// At is the cycle the event will fire.
+	At Cycle
+	// Tag is the caller-supplied inspection tag, nil if untagged.
 	Tag any
 }
 
 // PendingTagged returns the pending events in firing order (cycle, then
-// scheduling sequence). The slice is a snapshot: mutating it does not
+// event key). The slice is a snapshot: mutating it does not
 // affect the queue. The order is exactly the order Step would fire them if
 // nothing else were scheduled, which is what makes it usable as part of a
 // canonical machine-state fingerprint.
@@ -210,7 +353,10 @@ func (e *Engine) PendingTagged() []TaggedEvent {
 		if evs[i].at != evs[j].at {
 			return evs[i].at < evs[j].at
 		}
-		return evs[i].seq < evs[j].seq
+		if evs[i].owner != evs[j].owner {
+			return evs[i].owner < evs[j].owner
+		}
+		return evs[i].cnt < evs[j].cnt
 	})
 	out := make([]TaggedEvent, len(evs))
 	for i, ev := range evs {
@@ -242,6 +388,7 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.events).(*scheduledEvent)
 	e.now = ev.at
+	e.curOwner, e.curCnt = ev.owner, ev.cnt
 	e.fired++
 	fire, call := ev.fire, ev.call
 	e.release(ev)
@@ -270,6 +417,37 @@ func (e *Engine) Run(limit Cycle) (Cycle, bool) {
 		e.Step()
 	}
 	return e.now, true
+}
+
+// NextAt reports the firing cycle of the earliest pending event and
+// whether one exists. The parallel window scheduler uses it to skip empty
+// windows: when every shard's next event lies beyond the current window,
+// time jumps straight to the minimum NextAt instead of crawling one
+// lookahead at a time.
+func (e *Engine) NextAt() (Cycle, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// RunWindow fires every pending event whose cycle is strictly below end,
+// in the canonical (cycle, key) order, leaving the clock at the last
+// fired event.
+// Events fired inside the window may schedule more events; those inside
+// [now, end) fire in the same call. prepare, when non-nil, runs before
+// every event — it is the parallel engine's cold headroom hook, where a
+// shard re-ensures staging-buffer capacity so the hot event path itself
+// can use guarded indexed stores and never allocate. RunWindow is not a
+// hot path: it is the per-window driver, called once per shard per
+// window from the cluster's worker loop.
+func (e *Engine) RunWindow(end Cycle, prepare func()) {
+	for len(e.events) > 0 && e.events[0].at < end {
+		if prepare != nil {
+			prepare()
+		}
+		e.Step()
+	}
 }
 
 // RunUntil fires events while cond returns false, stopping as soon as cond

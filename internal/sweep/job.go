@@ -25,7 +25,10 @@ const LitmusName = litmus.AppName
 // behavior), so stale cache entries from the previous semantics can never
 // satisfy a new sweep. Purely additive changes (new fields captured into
 // Result) also require a bump, since cached objects would lack them.
-const codeVersion = "swex-sim-v3"
+// swex-sim-v4: canonical (owner, cnt) event keys replaced issue-order
+// sequencing for same-cycle events (DESIGN.md §14), shifting cycle
+// counts by under a percent on every exhibit.
+const codeVersion = "swex-sim-v4"
 
 // ProgramRef names a workload canonically, so a job can be hashed,
 // journaled, and re-resolved in a later process.

@@ -1,0 +1,52 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"swex/internal/machine"
+	"swex/internal/proto"
+)
+
+// TestSimWorkersOutsideCacheKey pins the design decision that the
+// parallel-engine worker count is a runner property, invisible to the
+// cache: a job's canonical key must not change when Config.SimWorkers
+// does, because serial and parallel runs produce byte-identical results
+// and must share cache entries.
+func TestSimWorkersOutsideCacheKey(t *testing.T) {
+	serial := WorkerJob(2, 3, machine.Config{Nodes: 8, Spec: proto.LimitLESS(2)})
+	par := serial
+	par.Config.SimWorkers = 4
+	ks, err := serial.Key("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, err := par.Key("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks != kp {
+		t.Fatalf("SimWorkers leaked into the cache key:\nserial: %s\nparallel: %s", ks, kp)
+	}
+}
+
+// TestRunnerSimWorkersMatchesSerial runs the same matrix on a serial
+// runner and a SimWorkers=4 runner and requires identical results — the
+// sweep-level face of the engine's byte-identity guarantee.
+func TestRunnerSimWorkersMatchesSerial(t *testing.T) {
+	jobs := smallMatrix(6)
+	serial := MustNewRunner(Config{Workers: 2})
+	parallel := MustNewRunner(Config{Workers: 2, SimWorkers: 4})
+	want, err := serial.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parallel.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("SimWorkers=4 runner diverged from serial:\nserial:   %+v\nparallel: %+v", want, got)
+	}
+}

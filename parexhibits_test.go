@@ -1,0 +1,47 @@
+package swex
+
+// Parallel-engine regression tests at the exhibit level: the conservative
+// parallel engine must be invisible in experiment output. Every exhibit
+// rendered on SimWorkers-enabled runners must be byte-identical to the
+// serial in-process run — the end-to-end face of the determinism argument
+// in DESIGN.md §14 (the per-machine face lives in
+// internal/machine/parrun_test.go, the per-sweep face in
+// internal/sweep/parsweep_test.go).
+
+import "testing"
+
+// TestParallelExhibitsByteIdentical renders the full quick exhibit matrix
+// serially and then on parallel-engine runners at several worker counts,
+// requiring byte-identical reports. Each runner is fresh, with its own
+// in-memory cache, so every parallel rendering really re-executes its
+// simulations on the parallel engine rather than reading the serial run's
+// cache entries.
+func TestParallelExhibitsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick matrix at several worker counts; skipped in -short")
+	}
+	serial := renderAllSim(t, 0)
+	for _, w := range []int{2, 4, 8} {
+		got := renderAllSim(t, w)
+		if got != serial {
+			t.Errorf("simworkers=%d exhibits differ from serial:\n--- serial ---\n%s\n--- simworkers=%d ---\n%s",
+				w, serial, w, got)
+		}
+	}
+}
+
+// renderAllSim renders every registry exhibit in quick mode with the
+// parallel engine at the given worker count, via Options.SimWorkers and a
+// nil runner (exercising the private-runner plumbing cmd/swex relies on).
+func renderAllSim(t *testing.T, simWorkers int) string {
+	t.Helper()
+	var out string
+	for _, m := range Matrices() {
+		text, err := m.Render(Options{Quick: true, SimWorkers: simWorkers})
+		if err != nil {
+			t.Fatalf("%s (simworkers=%d): %v", m.Name, simWorkers, err)
+		}
+		out += "== " + m.Name + "\n" + text + "\n"
+	}
+	return out
+}
